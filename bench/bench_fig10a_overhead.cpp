@@ -1,0 +1,92 @@
+// Figure 10(a) reproduction: computation overhead of the fair-share
+// evaluator vs number of users, with 10 GPU types (google-benchmark).
+// Paper shape: cooperative OEF costs more than non-cooperative (O(n^2) vs
+// O(n) fairness rows) and both stay well below the five-minute round length.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/oef.h"
+#include "core/speedup_matrix.h"
+
+namespace {
+
+using namespace oef;
+
+constexpr std::size_t kGpuTypes = 10;
+
+core::SpeedupMatrix make_matrix(std::size_t n) {
+  common::Rng rng(4242);
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) {
+    row.resize(kGpuTypes);
+    row[0] = 1.0;
+    for (std::size_t j = 1; j < kGpuTypes; ++j) {
+      row[j] = row[j - 1] * rng.uniform(1.02, 1.35);
+    }
+  }
+  return core::SpeedupMatrix(std::move(rows));
+}
+
+std::vector<double> make_capacities() {
+  return std::vector<double>(kGpuTypes, 24.0);
+}
+
+void BM_NonCooperativeOef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SpeedupMatrix w = make_matrix(n);
+  const std::vector<double> m = make_capacities();
+  const core::OefAllocator allocator = core::make_non_cooperative_oef();
+  for (auto _ : state) {
+    const core::AllocationResult result = allocator.allocate(w, m);
+    benchmark::DoNotOptimize(result.total_efficiency);
+    if (!result.ok()) state.SkipWithError("LP failed");
+  }
+}
+
+void BM_NonCooperativeOefFastPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SpeedupMatrix w = make_matrix(n);
+  const std::vector<double> m = make_capacities();
+  core::OefOptions options;
+  options.use_fast_path = true;
+  const core::OefAllocator allocator = core::make_non_cooperative_oef(options);
+  for (auto _ : state) {
+    const core::AllocationResult result = allocator.allocate(w, m);
+    benchmark::DoNotOptimize(result.total_efficiency);
+    if (!result.ok()) state.SkipWithError("allocation failed");
+  }
+}
+
+void BM_CooperativeOef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SpeedupMatrix w = make_matrix(n);
+  const std::vector<double> m = make_capacities();
+  const core::OefAllocator allocator = core::make_cooperative_oef();
+  for (auto _ : state) {
+    const core::AllocationResult result = allocator.allocate(w, m);
+    benchmark::DoNotOptimize(result.total_efficiency);
+    if (!result.ok()) state.SkipWithError("LP failed");
+  }
+}
+
+}  // namespace
+
+// The paper sweeps 100-300 users at 10 GPU types with ECOS (sparse interior
+// point). The non-cooperative sweep reproduces at full scale on the dense
+// simplex (O(n) fairness rows); the cooperative sweep is scoped to n <= 40
+// because its lazily-generated envy rows still grow the dense tableau to
+// O(n * rounds) rows — matching ECOS at n = 300 needs a sparse or
+// warm-started (dual simplex) solver, recorded as an engineering note in
+// EXPERIMENTS.md. The paper's qualitative claims reproduce: cooperative
+// costs more than non-cooperative at equal n, both grow polynomially, and
+// the non-cooperative overhead stays far below the 5-minute round length.
+BENCHMARK(BM_NonCooperativeOef)->Arg(50)->Arg(100)->Arg(200)->Arg(300)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_CooperativeOef)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_NonCooperativeOefFastPath)->Arg(50)->Arg(100)->Arg(200)->Arg(300)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_MAIN();

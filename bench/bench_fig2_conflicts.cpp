@@ -1,0 +1,84 @@
+// §3.1 / Figure 2 reproduction: the inherent conflicts between efficiency and
+// fairness properties.
+//   * Eq. (5): pure efficiency maximisation starves slow users.
+//   * Eq. (6): EF-optimal allocation <1,0.25; 0,0.75>; u1's lie (2 -> 4)
+//     raises his own throughput 16.7% while total drops 5.25 -> 4.875.
+//   * Fig. 2: W = <1,2; 1,4>: lying to <1,3> moves the EF allocation from
+//     <1,0.25; 0,0.75> to <1,0.33; 0,0.67>.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/oef.h"
+#include "core/properties.h"
+#include "sched/efficiency_max.h"
+
+int main() {
+  using namespace oef;
+
+  bench::print_header("SS3.1 Eq.(5): pure efficiency maximisation is unfair",
+                      "GPU2 -> u3 entirely; u2 starved; no EF/SI/SP");
+  {
+    const core::SpeedupMatrix w({{1, 2}, {1, 3}, {1, 4}});
+    const std::vector<double> m = {1.0, 1.0};
+    const core::Allocation x = sched::EfficiencyMaxScheduler().allocate(w, m, {});
+    common::Table table({"user", "GPU1", "GPU2", "efficiency"});
+    for (std::size_t l = 0; l < 3; ++l) {
+      table.add_numeric_row("u" + std::to_string(l + 1),
+                            {x.at(l, 0), x.at(l, 1), x.efficiency(l, w)}, 2);
+    }
+    table.print();
+    bench::print_check("u2 receives nothing", x.efficiency(1, w) == 0.0);
+    bench::print_check("not sharing-incentive",
+                       !core::check_sharing_incentive(w, x, m).sharing_incentive);
+    bench::print_check("not envy-free", !core::check_envy_freeness(w, x).envy_free);
+  }
+
+  bench::print_header("SS3.1 Eq.(6): naively preserving EF invites lying",
+                      "honest total 5.25; u1's lie gains him 16.7%, total -> 4.875");
+  {
+    const core::SpeedupMatrix honest({{1, 2}, {1, 5}});
+    const core::SpeedupMatrix lied({{1, 4}, {1, 5}});
+    const std::vector<double> m = {1.0, 1.0};
+    const core::OefAllocator coop = core::make_cooperative_oef();
+
+    const core::AllocationResult before = coop.allocate(honest, m);
+    const core::AllocationResult after = coop.allocate(lied, m);
+    std::printf("honest:  x1 = <%.3f, %.3f>, x2 = <%.3f, %.3f>, total %.4f\n",
+                before.allocation.at(0, 0), before.allocation.at(0, 1),
+                before.allocation.at(1, 0), before.allocation.at(1, 1),
+                before.total_efficiency);
+    const double u1_honest = before.allocation.efficiency(0, honest);
+    const double u1_lying = honest.dot(0, after.allocation.row(0));
+    const double total_after =
+        u1_lying + honest.dot(1, after.allocation.row(1));
+    std::printf("lying:   x1 = <%.3f, %.3f>, x2 = <%.3f, %.3f>, true total %.4f\n",
+                after.allocation.at(0, 0), after.allocation.at(0, 1),
+                after.allocation.at(1, 0), after.allocation.at(1, 1), total_after);
+    std::printf("u1 true efficiency: %.3f -> %.3f (%+.1f%%)\n", u1_honest, u1_lying,
+                (u1_lying / u1_honest - 1.0) * 100.0);
+    bench::print_check("u1 gains ~16.7%", std::abs(u1_lying / u1_honest - 7.0 / 6.0) < 0.01);
+    bench::print_check("total drops to 4.875", std::abs(total_after - 4.875) < 1e-6);
+  }
+
+  bench::print_header("Figure 2: EF allocation shift under misreporting",
+                      "<1,0.25; 0,0.75> -> <1,0.33; 0,0.67> when u1 reports <1,3>");
+  {
+    const std::vector<double> m = {1.0, 1.0};
+    const core::OefAllocator coop = core::make_cooperative_oef();
+    const core::AllocationResult before =
+        coop.allocate(core::SpeedupMatrix({{1, 2}, {1, 4}}), m);
+    const core::AllocationResult after =
+        coop.allocate(core::SpeedupMatrix({{1, 3}, {1, 4}}), m);
+    common::Table table({"scenario", "u1 GPU2 share", "u2 GPU2 share"});
+    table.add_numeric_row("before lying",
+                          {before.allocation.at(0, 1), before.allocation.at(1, 1)}, 3);
+    table.add_numeric_row("after lying",
+                          {after.allocation.at(0, 1), after.allocation.at(1, 1)}, 3);
+    table.print();
+    bench::print_check("before = <0.25, 0.75>",
+                       std::abs(before.allocation.at(0, 1) - 0.25) < 1e-6);
+    bench::print_check("after = <1/3, 2/3>",
+                       std::abs(after.allocation.at(0, 1) - 1.0 / 3.0) < 1e-6);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared driver for the 20-tenant throughput comparisons (Figs. 7 and 8):
+// runs the same trace under several schedulers and summarises the steady
+// rounds. Baselines run without the paper's placement optimisations (they
+// "lack optimization strategies for placement", §6.3.1); OEF runs with them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/engine.h"
+#include "workload/trace.h"
+
+namespace oef::bench {
+
+inline ThroughputSummary summarise(const sim::SimResult& result, std::size_t warmup) {
+  ThroughputSummary summary;
+  std::size_t rounds = 0;
+  for (std::size_t r = warmup; r < result.rounds.size(); ++r) {
+    const sim::RoundRecord& record = result.rounds[r];
+    double estimated = 0.0;
+    double actual = 0.0;
+    for (const sim::TenantRound& tr : record.tenants) {
+      estimated += tr.estimated;
+      actual += tr.actual;
+    }
+    summary.estimated += estimated;
+    summary.actual += actual;
+    summary.cross_type_jobs += record.cross_type_jobs;
+    summary.straggler_workers += record.straggler_workers;
+    ++rounds;
+  }
+  if (rounds > 0) {
+    summary.estimated /= static_cast<double>(rounds);
+    summary.actual /= static_cast<double>(rounds);
+  }
+  return summary;
+}
+
+/// Workload for the §6.3 experiments: 20 single-model tenants with a mix of
+/// worker-group sizes, long-running jobs (throughput is the metric).
+inline workload::Trace make_throughput_trace(const workload::ModelZoo& zoo,
+                                             std::uint64_t seed) {
+  workload::TraceOptions options;
+  options.num_tenants = 20;
+  options.mean_jobs_per_tenant = 6.0;
+  options.single_model_fraction = 1.0;  // fair comparison with the baselines (§6.3.1)
+  options.iterations_mu = 30.0;         // effectively infinite
+  options.iterations_sigma = 0.1;
+  options.p_one_worker = 0.45;
+  options.p_two_workers = 0.35;
+  options.seed = seed;
+  return workload::generate_trace(zoo, options);
+}
+
+inline ThroughputSummary run_scheduler(const PaperFixture& fixture,
+                                       const workload::Trace& trace,
+                                       const std::string& scheduler, bool paper_placement,
+                                       std::size_t rounds) {
+  sim::SimOptions options;
+  options.scheduler = scheduler;
+  options.max_rounds = rounds;
+  // Baselines run with the naive placer: no consolidation priority and no
+  // single-type preference, reflecting §6.3.1 ("lack optimization strategies
+  // for placement, including network contention alleviation and mechanisms to
+  // prevent excessive GPU allocation across diverse types").
+  options.packer.prioritize_large_jobs = paper_placement;
+  options.packer.prefer_single_type = paper_placement;
+  const sim::SimResult result = sim::run_simulation(
+      fixture.cluster, fixture.catalog, fixture.gpu_names, fixture.zoo, trace, options);
+  return summarise(result, /*warmup=*/4);
+}
+
+}  // namespace oef::bench

@@ -1,0 +1,57 @@
+// Strategy-proofness demo: what happens when a tenant inflates its profiled
+// speedups, under each scheduler. Non-cooperative OEF penalises the liar;
+// Gandiva_fair and cooperative OEF reward it (the §2.4/§3.1 analysis).
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/oef.h"
+#include "core/properties.h"
+#include "sched/registry.h"
+
+int main() {
+  using namespace oef;
+
+  // Tenant 0 will exaggerate its speedup on the fast GPU from 2.0 to 3.2.
+  const core::SpeedupMatrix honest({{1.0, 2.0}, {1.0, 3.0}, {1.0, 4.0}});
+  const core::SpeedupMatrix lied({{1.0, 3.2}, {1.0, 3.0}, {1.0, 4.0}});
+  const std::vector<double> capacities = {4.0, 4.0};
+
+  std::printf("Tenant 0 inflates its fast-GPU speedup 2.0 -> 3.2.\n");
+  std::printf("True efficiency of tenant 0 before/after, per scheduler:\n\n");
+
+  common::Table table({"scheduler", "honest", "after lying", "outcome"});
+  const std::vector<std::string> schedulers = {"OEF-noncoop", "OEF-coop", "GandivaFair",
+                                               "Gavel", "MaxMin"};
+  for (const std::string& name : schedulers) {
+    const auto scheduler = sched::make_scheduler(name);
+    const core::Allocation before = scheduler->allocate(honest, capacities, {});
+    const core::Allocation after = scheduler->allocate(lied, capacities, {});
+    // The tenant's *true* throughput is always evaluated with honest speedups.
+    const double eff_before = honest.dot(0, before.row(0));
+    const double eff_after = honest.dot(0, after.row(0));
+    const char* outcome = eff_after > eff_before + 1e-6
+                              ? "lying pays (not strategy-proof)"
+                              : (eff_after < eff_before - 1e-6 ? "lying penalised"
+                                                               : "lying has no effect");
+    table.add_row({name, common::format_double(eff_before, 3),
+                   common::format_double(eff_after, 3), outcome});
+  }
+  table.print();
+
+  // Systematic attack search against non-cooperative OEF.
+  std::printf("\nRandomised attack search against OEF-noncoop (60 attacks/tenant):\n");
+  const core::OefAllocator noncoop = core::make_non_cooperative_oef();
+  const core::AllocatorFn allocator = [&](const core::SpeedupMatrix& reported,
+                                          const std::vector<double>& caps) {
+    const core::AllocationResult result = noncoop.allocate(reported, caps);
+    return result.allocation;
+  };
+  core::AttackOptions attack;
+  attack.attempts_per_user = 60;
+  attack.max_exaggeration = 3.0;
+  const core::StrategyProofnessReport report =
+      core::check_strategy_proofness(honest, capacities, allocator, attack);
+  std::printf("  best gain found by any attacker: %.3e -> %s\n", report.worst_gain,
+              report.strategy_proof ? "strategy-proof" : "NOT strategy-proof");
+  return report.strategy_proof ? 0 : 1;
+}

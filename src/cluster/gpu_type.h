@@ -1,0 +1,21 @@
+// GPU type identifiers. Types are globally ordered slowest → fastest, matching
+// the paper's §2.3 convention (the slowest type is index 0 and every user's
+// speedup is normalised to it).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace oef::cluster {
+
+/// Index into the cluster's ordered list of GPU types (0 = slowest).
+using GpuTypeId = std::size_t;
+
+/// Static description of one GPU type present in a cluster.
+struct GpuTypeInfo {
+  std::string name;
+  /// Devices of this type in the cluster.
+  std::size_t device_count = 0;
+};
+
+}  // namespace oef::cluster

@@ -1,0 +1,30 @@
+// Checked assertions that stay on in release builds.
+//
+// OEF_CHECK aborts with a message when an invariant is broken; it is used for
+// programming errors (broken preconditions), not for recoverable conditions,
+// which are reported via status enums or exceptions at module boundaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oef::common {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "OEF_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace oef::common
+
+#define OEF_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) ::oef::common::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define OEF_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) ::oef::common::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,37 @@
+#include "common/csv.h"
+
+#include "common/table.h"
+
+namespace oef::common {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string escaped = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << csv_escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_numeric_row(const std::string& label,
+                                  const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) cells.push_back(format_double(v, precision));
+  write_row(cells);
+}
+
+}  // namespace oef::common

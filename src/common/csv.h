@@ -1,0 +1,27 @@
+// Minimal CSV emission so bench series can be redirected into plotting tools.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oef::common {
+
+/// Streams rows as RFC-4180-ish CSV (quotes cells containing separators).
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_numeric_row(const std::string& label, const std::vector<double>& values,
+                         int precision = 6);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Escapes one CSV cell (quotes when it contains comma, quote or newline).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace oef::common

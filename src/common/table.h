@@ -1,0 +1,40 @@
+// ASCII table rendering for the benchmark harness. Every bench binary prints
+// the rows/series of the corresponding paper table or figure through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oef::common {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a pre-formatted row. Short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a numeric row with the given precision.
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench output).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Formats a multiplicative factor like "1.32x".
+[[nodiscard]] std::string format_factor(double value, int precision = 2);
+
+}  // namespace oef::common

@@ -1,0 +1,310 @@
+#include "core/oef.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "solver/lp_model.h"
+
+namespace oef::core {
+
+namespace {
+
+using solver::Constraint;
+using solver::LinearExpr;
+using solver::LpModel;
+using solver::Relation;
+using solver::Sense;
+using solver::VarId;
+
+/// Variable id of x[user][type] given k types.
+[[nodiscard]] constexpr VarId var_of(std::size_t user, std::size_t type, std::size_t k) {
+  return user * k + type;
+}
+
+/// Adds all x variables (objective = speedup) and capacity rows.
+void build_base_model(LpModel& model, const SpeedupMatrix& w,
+                      const std::vector<double>& capacities) {
+  const std::size_t n = w.num_users();
+  const std::size_t k = w.num_types();
+  OEF_CHECK(capacities.size() == k);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t j = 0; j < k; ++j) {
+      model.add_variable("x_" + std::to_string(l) + "_" + std::to_string(j),
+                         /*lower=*/0.0, solver::kInf, /*objective=*/w.at(l, j));
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    LinearExpr expr;
+    for (std::size_t l = 0; l < n; ++l) expr.add(var_of(l, j, k), 1.0);
+    model.add_constraint(std::move(expr), Relation::kLessEqual, capacities[j],
+                         "cap_" + std::to_string(j));
+  }
+}
+
+[[nodiscard]] Allocation extract_allocation(const std::vector<double>& values, std::size_t n,
+                                            std::size_t k) {
+  Allocation allocation(n, k);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t j = 0; j < k; ++j) {
+      // Clamp solver roundoff so downstream capacity checks stay clean.
+      allocation.at(l, j) = std::max(0.0, values[var_of(l, j, k)]);
+    }
+  }
+  return allocation;
+}
+
+/// Scaled efficiency of user l at point `values`: w_l · x_l / r_l.
+[[nodiscard]] double scaled_efficiency(const SpeedupMatrix& w,
+                                       const std::vector<double>& multiplicities,
+                                       const std::vector<double>& values, std::size_t l) {
+  const std::size_t k = w.num_types();
+  double eff = 0.0;
+  for (std::size_t j = 0; j < k; ++j) eff += w.at(l, j) * values[var_of(l, j, k)];
+  return eff / multiplicities[l];
+}
+
+/// Envy row: w_l·x_l / r_l  −  w_l·x_i / r_i  ≥ 0.
+[[nodiscard]] Constraint envy_row(const SpeedupMatrix& w,
+                                  const std::vector<double>& multiplicities, std::size_t l,
+                                  std::size_t i) {
+  const std::size_t k = w.num_types();
+  LinearExpr expr;
+  for (std::size_t j = 0; j < k; ++j) {
+    expr.add(var_of(l, j, k), w.at(l, j) / multiplicities[l]);
+    expr.add(var_of(i, j, k), -w.at(l, j) / multiplicities[i]);
+  }
+  return Constraint{std::move(expr), Relation::kGreaterEqual, 0.0,
+                    "ef_" + std::to_string(l) + "_" + std::to_string(i)};
+}
+
+/// Dominance ordering for the fast path: indices sorted so each row is
+/// elementwise <= the next. Returns nullopt when no such chain exists.
+[[nodiscard]] std::optional<std::vector<std::size_t>> dominance_order(
+    const SpeedupMatrix& w, double tol) {
+  const std::size_t n = w.num_users();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    double sum_a = 0.0;
+    double sum_b = 0.0;
+    for (std::size_t j = 0; j < w.num_types(); ++j) {
+      sum_a += w.at(a, j);
+      sum_b += w.at(b, j);
+    }
+    if (sum_a != sum_b) return sum_a < sum_b;
+    return a < b;
+  });
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = 0; j < w.num_types(); ++j) {
+      if (w.at(order[i], j) > w.at(order[i + 1], j) + tol) return std::nullopt;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::optional<Allocation> non_cooperative_fast_path(
+    const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+    const std::vector<double>& capacities, double tolerance) {
+  if (!speedups.types_consistently_ordered()) return std::nullopt;
+  const auto order = dominance_order(speedups, 1e-12);
+  if (!order.has_value()) return std::nullopt;
+
+  const std::size_t n = speedups.num_users();
+  const std::size_t k = speedups.num_types();
+
+  // Greedy staircase fill (Lemma 3.1): users in dominance order, each
+  // consuming types slowest-first until its demand r_l * E is met. Returns
+  // the allocation when feasible.
+  const auto try_fill = [&](double level) -> std::optional<Allocation> {
+    Allocation allocation(n, k);
+    std::vector<double> remaining = capacities;
+    std::size_t type = 0;
+    for (const std::size_t l : *order) {
+      double demand = multiplicities[l] * level;
+      while (demand > tolerance) {
+        while (type < k && remaining[type] <= tolerance) ++type;
+        if (type >= k) return std::nullopt;
+        const double rate = speedups.at(l, type);
+        const double want = demand / rate;
+        const double take = std::min(want, remaining[type]);
+        allocation.at(l, type) += take;
+        remaining[type] -= take;
+        demand -= take * rate;
+      }
+    }
+    return allocation;
+  };
+
+  double best_total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    double best_rate = 0.0;
+    for (std::size_t l = 0; l < n; ++l) best_rate = std::max(best_rate, speedups.at(l, j));
+    best_total += capacities[j] * best_rate;
+  }
+  const double mult_sum = std::accumulate(multiplicities.begin(), multiplicities.end(), 0.0);
+  OEF_CHECK(mult_sum > 0.0);
+
+  double lo = 0.0;
+  double hi = best_total / mult_sum;
+  if (!try_fill(hi).has_value()) {
+    for (int iter = 0; iter < 100 && hi - lo > 1e-12 * (1.0 + hi); ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (try_fill(mid).has_value()) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    hi = lo;
+  }
+  return try_fill(hi);
+}
+
+OefAllocator::OefAllocator(Mode mode, OefOptions options)
+    : mode_(mode), options_(options) {}
+
+AllocationResult OefAllocator::allocate(const SpeedupMatrix& speedups,
+                                        const std::vector<double>& capacities) const {
+  return allocate_weighted(speedups, std::vector<double>(speedups.num_users(), 1.0),
+                           capacities);
+}
+
+AllocationResult OefAllocator::allocate_weighted(
+    const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+    const std::vector<double>& capacities) const {
+  OEF_CHECK(multiplicities.size() == speedups.num_users());
+  for (const double r : multiplicities) OEF_CHECK_MSG(r > 0.0, "multiplicity must be > 0");
+  OEF_CHECK(capacities.size() == speedups.num_types());
+  if (mode_ == Mode::kNonCooperative) {
+    return solve_non_cooperative(speedups, multiplicities, capacities);
+  }
+  return solve_cooperative(speedups, multiplicities, capacities);
+}
+
+AllocationResult OefAllocator::solve_non_cooperative(
+    const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+    const std::vector<double>& capacities) const {
+  const std::size_t n = speedups.num_users();
+  const std::size_t k = speedups.num_types();
+
+  if (options_.use_fast_path) {
+    auto fast = non_cooperative_fast_path(speedups, multiplicities, capacities);
+    if (fast.has_value()) {
+      AllocationResult result;
+      result.allocation = std::move(*fast);
+      result.status = solver::SolveStatus::kOptimal;
+      result.total_efficiency = result.allocation.total_efficiency(speedups);
+      result.used_fast_path = true;
+      return result;
+    }
+  }
+
+  LpModel model(Sense::kMaximize);
+  build_base_model(model, speedups, capacities);
+  // Equal scaled efficiency across all (virtual) users, Eq. (9c).
+  for (std::size_t l = 1; l < n; ++l) {
+    LinearExpr expr;
+    for (std::size_t j = 0; j < k; ++j) {
+      expr.add(var_of(l, j, k), speedups.at(l, j) / multiplicities[l]);
+      expr.add(var_of(0, j, k), -speedups.at(0, j) / multiplicities[0]);
+    }
+    model.add_constraint(std::move(expr), Relation::kEqual, 0.0,
+                         "eq_" + std::to_string(l));
+  }
+
+  const solver::SimplexSolver lp(options_.solver);
+  const solver::LpSolution solution = lp.solve(model);
+  AllocationResult result;
+  result.status = solution.status;
+  result.lp_iterations = solution.iterations;
+  if (!solution.optimal()) return result;
+  result.allocation = extract_allocation(solution.values, n, k);
+  result.total_efficiency = result.allocation.total_efficiency(speedups);
+  return result;
+}
+
+AllocationResult OefAllocator::solve_cooperative(
+    const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+    const std::vector<double>& capacities) const {
+  const std::size_t n = speedups.num_users();
+  const std::size_t k = speedups.num_types();
+
+  LpModel model(Sense::kMaximize);
+  build_base_model(model, speedups, capacities);
+
+  AllocationResult result;
+  if (!options_.lazy_envy_constraints) {
+    for (std::size_t l = 0; l < n; ++l) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != l) model.add_constraint(envy_row(speedups, multiplicities, l, i));
+      }
+    }
+    const solver::SimplexSolver lp(options_.solver);
+    const solver::LpSolution solution = lp.solve(model);
+    result.status = solution.status;
+    result.lp_iterations = solution.iterations;
+    if (!solution.optimal()) return result;
+    result.allocation = extract_allocation(solution.values, n, k);
+    result.total_efficiency = result.allocation.total_efficiency(speedups);
+    return result;
+  }
+
+  // Lazy row generation: add every violated envy row per round (capped per
+  // user) — more rows per solve, but far fewer full re-solves than the
+  // one-row-per-user policy. Only a small set is active at the optimum.
+  const auto oracle = [&](const std::vector<double>& point) {
+    std::vector<Constraint> violated;
+    for (std::size_t l = 0; l < n; ++l) {
+      const double own = scaled_efficiency(speedups, multiplicities, point, l);
+      // Collect this user's violations, worst first, keeping the top few.
+      std::vector<std::pair<double, std::size_t>> gaps;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == l) continue;
+        double envied = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          envied += speedups.at(l, j) * point[var_of(i, j, k)];
+        }
+        envied /= multiplicities[i];
+        const double gap = envied - own;
+        if (gap > options_.envy_tolerance) gaps.push_back({gap, i});
+      }
+      std::sort(gaps.begin(), gaps.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const std::size_t per_user_cap = 8;
+      for (std::size_t g = 0; g < std::min(per_user_cap, gaps.size()); ++g) {
+        violated.push_back(envy_row(speedups, multiplicities, l, gaps[g].second));
+      }
+    }
+    return violated;
+  };
+
+  const solver::LazyConstraintSolver lazy(options_.solver, options_.max_lazy_rounds);
+  const solver::LazySolveResult lazy_result = lazy.solve(model, oracle);
+  result.status = lazy_result.solution.status;
+  result.lp_iterations = lazy_result.solution.iterations;
+  result.lazy_rounds = lazy_result.rounds;
+  result.envy_rows_added = lazy_result.rows_added;
+  if (!lazy_result.solution.optimal() || !lazy_result.converged) {
+    if (!lazy_result.converged && lazy_result.solution.optimal()) {
+      result.status = solver::SolveStatus::kIterationLimit;
+    }
+    return result;
+  }
+  result.allocation = extract_allocation(lazy_result.solution.values, n, k);
+  result.total_efficiency = result.allocation.total_efficiency(speedups);
+  return result;
+}
+
+OefAllocator make_non_cooperative_oef(OefOptions options) {
+  return OefAllocator(OefAllocator::Mode::kNonCooperative, options);
+}
+
+OefAllocator make_cooperative_oef(OefOptions options) {
+  return OefAllocator(OefAllocator::Mode::kCooperative, options);
+}
+
+}  // namespace oef::core

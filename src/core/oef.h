@@ -1,0 +1,100 @@
+// The OEF allocators (§4.2) — the paper's primary contribution.
+//
+// Non-cooperative OEF (Eq. 9) maximises overall efficiency subject to every
+// (virtual) user attaining identical normalised throughput, which yields
+// strategy-proofness (Thm 5.4). Cooperative OEF (Eq. 10) maximises overall
+// efficiency subject to envy-freeness rows, which yields envy-freeness,
+// sharing-incentive and optimal efficiency simultaneously (Thm 5.1). Both are
+// Pareto-efficient (Thm 5.3) and assign only adjacent GPU types (Thm 5.2).
+//
+// Weighted OEF and multi-job-type support (§4.2.3–4.2.4) are expressed via
+// per-row multiplicities: a row with multiplicity r behaves exactly like r
+// replicated rows of the paper's construction (allocations of identical
+// replicas can be symmetrised, so the replicas merge into one row whose
+// efficiency is compared at 1/r scale). This supports fractional weights
+// directly, where literal replication would need rationalisation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/speedup_matrix.h"
+#include "solver/lazy.h"
+#include "solver/simplex.h"
+
+namespace oef::core {
+
+struct OefOptions {
+  solver::SolverOptions solver;
+  /// Cooperative mode: generate envy rows lazily (true) or all n(n-1)
+  /// eagerly (false). Lazy is the default and is required at large n.
+  bool lazy_envy_constraints = true;
+  std::size_t max_lazy_rounds = 200;
+  /// Violation threshold for the envy separation oracle.
+  double envy_tolerance = 1e-7;
+  /// Non-cooperative mode: use the O(nk log) water-filling fast path when the
+  /// instance is totally ordered, falling back to the LP otherwise.
+  bool use_fast_path = false;
+};
+
+struct AllocationResult {
+  Allocation allocation;
+  solver::SolveStatus status = solver::SolveStatus::kIterationLimit;
+  /// Σ w_l · x_l at the optimum.
+  double total_efficiency = 0.0;
+  std::size_t lp_iterations = 0;
+  /// Cooperative-lazy statistics (zero otherwise).
+  std::size_t lazy_rounds = 0;
+  std::size_t envy_rows_added = 0;
+  /// True when the fast path produced the result (no LP solved).
+  bool used_fast_path = false;
+
+  [[nodiscard]] bool ok() const { return status == solver::SolveStatus::kOptimal; }
+};
+
+class OefAllocator {
+ public:
+  enum class Mode { kNonCooperative, kCooperative };
+
+  explicit OefAllocator(Mode mode, OefOptions options = {});
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  /// Unweighted allocation: every user has multiplicity 1.
+  [[nodiscard]] AllocationResult allocate(const SpeedupMatrix& speedups,
+                                          const std::vector<double>& capacities) const;
+
+  /// Weighted / multi-job-type allocation: row v behaves like
+  /// multiplicities[v] replicated users (§4.2.3). Multiplicities must be > 0.
+  [[nodiscard]] AllocationResult allocate_weighted(
+      const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+      const std::vector<double>& capacities) const;
+
+ private:
+  [[nodiscard]] AllocationResult solve_non_cooperative(
+      const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+      const std::vector<double>& capacities) const;
+  [[nodiscard]] AllocationResult solve_cooperative(
+      const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+      const std::vector<double>& capacities) const;
+
+  Mode mode_;
+  OefOptions options_;
+};
+
+/// Convenience factories matching the paper's terminology.
+[[nodiscard]] OefAllocator make_non_cooperative_oef(OefOptions options = {});
+[[nodiscard]] OefAllocator make_cooperative_oef(OefOptions options = {});
+
+/// Combinatorial fast path for non-cooperative OEF on totally ordered
+/// instances (every user's row elementwise-dominates the previous user's
+/// after sorting): bisects the common efficiency level E and fills users in
+/// dominance order, slowest types first (Lemma 3.1). Returns nullopt when the
+/// instance is not totally ordered. Exposed for testing; OefAllocator uses it
+/// when options.use_fast_path is set.
+[[nodiscard]] std::optional<Allocation> non_cooperative_fast_path(
+    const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
+    const std::vector<double>& capacities, double tolerance = 1e-10);
+
+}  // namespace oef::core

@@ -1,0 +1,198 @@
+#include "placement/packer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace oef::placement {
+
+namespace {
+
+/// Free-device pool per GPU type, organised by host for consolidation.
+class DevicePool {
+ public:
+  explicit DevicePool(const cluster::Cluster& cluster) : cluster_(&cluster) {
+    free_.resize(cluster.num_gpu_types());
+    for (const cluster::Host& host : cluster.hosts()) {
+      free_[host.gpu_type].push_back({host.id, host.devices});
+    }
+  }
+
+  /// Takes `count` devices of `type`, preferring a single host (best fit),
+  /// then fullest-first to minimise the number of hosts touched.
+  [[nodiscard]] std::vector<cluster::DeviceId> take(cluster::GpuTypeId type,
+                                                    std::size_t count) {
+    std::vector<cluster::DeviceId> taken;
+    auto& hosts = free_[type];
+
+    // Best fit: the host with the fewest free devices that still covers the
+    // whole request keeps big blocks intact for later big jobs.
+    std::size_t best = SIZE_MAX;
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      if (hosts[h].devices.size() >= count &&
+          (best == SIZE_MAX || hosts[h].devices.size() < hosts[best].devices.size())) {
+        best = h;
+      }
+    }
+    if (best != SIZE_MAX) {
+      take_from(hosts[best], count, taken);
+      return taken;
+    }
+    // Split across hosts, fullest first.
+    std::sort(hosts.begin(), hosts.end(), [](const HostFree& a, const HostFree& b) {
+      return a.devices.size() > b.devices.size();
+    });
+    for (auto& host : hosts) {
+      if (taken.size() == count) break;
+      take_from(host, count - taken.size(), taken);
+    }
+    OEF_CHECK_MSG(taken.size() == count, "device pool under-provisioned for grant");
+    return taken;
+  }
+
+  [[nodiscard]] std::size_t available(cluster::GpuTypeId type) const {
+    std::size_t total = 0;
+    for (const auto& host : free_[type]) total += host.devices.size();
+    return total;
+  }
+
+ private:
+  struct HostFree {
+    cluster::HostId host;
+    std::vector<cluster::DeviceId> devices;
+  };
+
+  void take_from(HostFree& host, std::size_t count,
+                 std::vector<cluster::DeviceId>& out) {
+    const std::size_t take_count = std::min(count, host.devices.size());
+    for (std::size_t i = 0; i < take_count; ++i) {
+      out.push_back(host.devices.back());
+      host.devices.pop_back();
+    }
+  }
+
+  const cluster::Cluster* cluster_;
+  std::vector<std::vector<HostFree>> free_;
+};
+
+/// A job together with the per-type device counts it will receive.
+struct PendingPlacement {
+  const workload::Job* job = nullptr;
+  std::vector<std::pair<cluster::GpuTypeId, std::size_t>> demand;  // type -> count
+  std::size_t workers = 0;
+};
+
+}  // namespace
+
+Packer::Packer(const cluster::Cluster& cluster, PackerOptions options)
+    : cluster_(&cluster), options_(options) {}
+
+PlacementPlan Packer::pack(const std::vector<UserPackRequest>& requests) const {
+  const std::size_t k = cluster_->num_gpu_types();
+  PlacementPlan plan;
+  std::vector<PendingPlacement> pending;
+  std::size_t granted_devices = 0;
+
+  // Phase 1: decide, per user, which jobs run and on which GPU types.
+  for (const UserPackRequest& request : requests) {
+    OEF_CHECK(request.grant.size() == k);
+    std::vector<int> grant = request.grant;
+    granted_devices += static_cast<std::size_t>(
+        std::accumulate(grant.begin(), grant.end(), 0));
+
+    for (const workload::Job* job : request.jobs) {
+      OEF_CHECK(job != nullptr);
+      const auto workers = static_cast<int>(job->num_workers);
+      const int total_left = std::accumulate(grant.begin(), grant.end(), 0);
+      if (total_left < workers) continue;  // job cannot run this round
+
+      PendingPlacement placement;
+      placement.job = job;
+      placement.workers = job->num_workers;
+
+      if (options_.prefer_single_type) {
+        // Best fit among single types: smallest sufficient grant; faster type
+        // wins ties so high-end devices do not sit behind small leftovers.
+        std::size_t best_type = SIZE_MAX;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (grant[j] < workers) continue;
+          if (best_type == SIZE_MAX || grant[j] < grant[best_type] ||
+              (grant[j] == grant[best_type] && j > best_type)) {
+            best_type = j;
+          }
+        }
+        if (best_type != SIZE_MAX) {
+          grant[best_type] -= workers;
+          placement.demand.push_back({best_type, job->num_workers});
+          pending.push_back(std::move(placement));
+          continue;
+        }
+      }
+      // Span types: start from the largest holding and extend to adjacent
+      // types (falling back to any type when adjacency cannot satisfy).
+      std::size_t anchor = 0;
+      for (std::size_t j = 1; j < k; ++j) {
+        if (grant[j] > grant[anchor]) anchor = j;
+      }
+      int needed = workers;
+      const auto take_type = [&](std::size_t j) {
+        if (needed <= 0 || grant[j] <= 0) return;
+        const int use = std::min(grant[j], needed);
+        grant[j] -= use;
+        needed -= use;
+        placement.demand.push_back({j, static_cast<std::size_t>(use)});
+      };
+      take_type(anchor);
+      for (std::size_t spread = 1; needed > 0 && spread < k; ++spread) {
+        if (anchor + spread < k) take_type(anchor + spread);
+        if (needed > 0 && anchor >= spread) take_type(anchor - spread);
+      }
+      OEF_CHECK(needed == 0);
+      pending.push_back(std::move(placement));
+    }
+  }
+
+  // Phase 2: priority to jobs with more workers (network-contention relief),
+  // then map demands onto concrete hosts/devices.
+  if (options_.prioritize_large_jobs) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const PendingPlacement& a, const PendingPlacement& b) {
+                       return a.workers > b.workers;
+                     });
+  }
+
+  DevicePool pool(*cluster_);
+  std::size_t placed_devices = 0;
+  for (const PendingPlacement& item : pending) {
+    JobPlacement result;
+    result.job = item.job->id;
+    for (const auto& [type, count] : item.demand) {
+      const std::vector<cluster::DeviceId> devices = pool.take(type, count);
+      result.devices.insert(result.devices.end(), devices.begin(), devices.end());
+    }
+    placed_devices += result.devices.size();
+
+    // Stats: type spread, host spread, straggler workers.
+    cluster::GpuTypeId slowest = cluster_->num_gpu_types();
+    for (const cluster::DeviceId id : result.devices) {
+      slowest = std::min(slowest, cluster_->device(id).gpu_type);
+    }
+    result.slowest_type = slowest;
+    cluster::HostId first_host = cluster_->device(result.devices.front()).host;
+    for (const cluster::DeviceId id : result.devices) {
+      const cluster::Device& device = cluster_->device(id);
+      if (device.gpu_type != slowest) ++result.straggler_workers;
+      if (device.host != first_host) result.cross_host = true;
+      if (device.gpu_type != result.slowest_type) result.cross_type = true;
+    }
+    if (result.cross_type) ++plan.cross_type_jobs;
+    if (result.cross_host) ++plan.cross_host_jobs;
+    plan.straggler_workers += result.straggler_workers;
+    plan.placements.push_back(std::move(result));
+  }
+  plan.idle_devices = granted_devices - placed_devices;
+  return plan;
+}
+
+}  // namespace oef::placement

@@ -1,0 +1,76 @@
+// Device packer: turns per-(user, type) integer grants into concrete
+// device assignments for jobs (§4.3–4.4).
+//
+// Policies reproduced from the paper:
+//   * jobs with more workers get placement priority (collective-communication
+//     overhead grows with worker count, so consolidating them first relieves
+//     the network);
+//   * a job is kept on a single GPU type when possible; when it must span
+//     types only adjacent types are combined, and the job runs at the
+//     slowest member's speed (straggler accounting, §4.4 / §6.3.3);
+//   * within a type, devices are taken host-by-host (fullest-first) to keep
+//     worker groups on as few hosts as possible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "workload/job.h"
+
+namespace oef::placement {
+
+struct PackerOptions {
+  /// Place jobs with more workers first (the paper's contention relief).
+  /// Disabled in the naive-baseline configuration used for ablations.
+  bool prioritize_large_jobs = true;
+  /// Prefer keeping a job on one GPU type; combine adjacent types otherwise.
+  bool prefer_single_type = true;
+};
+
+/// A job's concrete devices for one round.
+struct JobPlacement {
+  workload::JobId job = 0;
+  std::vector<cluster::DeviceId> devices;
+  /// True when the job's devices span more than one GPU type.
+  bool cross_type = false;
+  /// True when the job's devices span more than one host.
+  bool cross_host = false;
+  /// Slowest GPU type among the job's devices (drives throughput).
+  cluster::GpuTypeId slowest_type = 0;
+  /// Workers on a faster type than slowest_type (idle-waiting fraction).
+  std::size_t straggler_workers = 0;
+};
+
+struct PlacementPlan {
+  std::vector<JobPlacement> placements;
+  std::size_t cross_type_jobs = 0;
+  std::size_t cross_host_jobs = 0;
+  std::size_t straggler_workers = 0;
+  /// Devices granted but not usable by any runnable job this round.
+  std::size_t idle_devices = 0;
+};
+
+/// One user's inputs to the packer for a round.
+struct UserPackRequest {
+  /// Integer grant per GPU type (from DeviationRounder).
+  std::vector<int> grant;
+  /// Runnable jobs in scheduling-priority order (most starved first); each
+  /// job consumes job->num_workers devices when placed.
+  std::vector<const workload::Job*> jobs;
+};
+
+class Packer {
+ public:
+  explicit Packer(const cluster::Cluster& cluster, PackerOptions options = {});
+
+  /// Packs all users' grants into concrete device assignments. Each user's
+  /// grant is respected exactly (never exceeded).
+  [[nodiscard]] PlacementPlan pack(const std::vector<UserPackRequest>& requests) const;
+
+ private:
+  const cluster::Cluster* cluster_;
+  PackerOptions options_;
+};
+
+}  // namespace oef::placement

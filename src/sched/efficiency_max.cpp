@@ -1,0 +1,28 @@
+#include "sched/efficiency_max.h"
+
+#include "common/check.h"
+
+namespace oef::sched {
+
+core::Allocation EfficiencyMaxScheduler::allocate(const core::SpeedupMatrix& speedups,
+                                                  const std::vector<double>& capacities,
+                                                  const std::vector<double>& weights) const {
+  const std::size_t n = speedups.num_users();
+  const std::size_t k = speedups.num_types();
+  OEF_CHECK(capacities.size() == k);
+  (void)effective_weights(n, weights);  // validated but ignored: Eq. 4 has no weights
+
+  // The objective is separable per type: each type goes entirely to the user
+  // with the highest speedup on it (lowest index wins ties, deterministic).
+  core::Allocation allocation(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::size_t best_user = 0;
+    for (std::size_t l = 1; l < n; ++l) {
+      if (speedups.at(l, j) > speedups.at(best_user, j)) best_user = l;
+    }
+    allocation.at(best_user, j) = capacities[j];
+  }
+  return allocation;
+}
+
+}  // namespace oef::sched

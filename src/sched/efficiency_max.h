@@ -1,0 +1,18 @@
+// Pure efficiency maximisation (Eq. 4): every device of type j goes to the
+// user with the highest speedup on j. The paper's §3.1 strawman — optimal
+// throughput, no fairness property whatsoever.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace oef::sched {
+
+class EfficiencyMaxScheduler : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "EfficiencyMax"; }
+  [[nodiscard]] core::Allocation allocate(const core::SpeedupMatrix& speedups,
+                                          const std::vector<double>& capacities,
+                                          const std::vector<double>& weights) const override;
+};
+
+}  // namespace oef::sched

@@ -1,0 +1,92 @@
+#include "sched/gandiva_fair.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace oef::sched {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// One pairwise auction: trade slow-type `s` shares for fast-type `f` shares.
+void run_pair_auction(const core::SpeedupMatrix& w, core::Allocation& x, std::size_t s,
+                      std::size_t f) {
+  const std::size_t n = w.num_users();
+  // Device exchange ratio each user is indifferent at: value(f) / value(s).
+  std::vector<double> ratio(n);
+  for (std::size_t l = 0; l < n; ++l) ratio[l] = w.at(l, f) / w.at(l, s);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (ratio[a] != ratio[b]) return ratio[a] > ratio[b];
+    return a < b;
+  });
+
+  for (std::size_t b = 0; b + 1 < n; ++b) {
+    const std::size_t buyer = order[b];
+    const std::size_t remaining = n - b;
+    // Second-price rule: the next-best ratio while >= 3 traders remain, the
+    // midpoint of the final pair otherwise.
+    const double price = remaining >= 3
+                             ? ratio[order[b + 1]]
+                             : 0.5 * (ratio[order[b]] + ratio[order[b + 1]]);
+    if (ratio[buyer] <= price + kEps) continue;  // no strict gain for the buyer
+
+    // The buyer offers its entire slow-type holding.
+    double slow_on_offer = x.at(buyer, s);
+    if (slow_on_offer <= kEps) continue;
+
+    // Sellers: least-accelerated holders of fast shares, while they strictly
+    // benefit from receiving `price` slow devices per fast device.
+    for (std::size_t idx = n; idx-- > b + 1 && slow_on_offer > kEps;) {
+      const std::size_t seller = order[idx];
+      if (ratio[seller] >= price - kEps) break;  // nobody cheaper remains
+      const double seller_fast = x.at(seller, f);
+      if (seller_fast <= kEps) continue;
+      const double fast_wanted = slow_on_offer / price;
+      const double fast_traded = std::min(fast_wanted, seller_fast);
+      const double slow_traded = fast_traded * price;
+
+      x.at(buyer, f) += fast_traded;
+      x.at(seller, f) -= fast_traded;
+      x.at(buyer, s) -= slow_traded;
+      x.at(seller, s) += slow_traded;
+      slow_on_offer -= slow_traded;
+    }
+  }
+}
+
+}  // namespace
+
+core::Allocation GandivaFairScheduler::allocate(const core::SpeedupMatrix& speedups,
+                                                const std::vector<double>& capacities,
+                                                const std::vector<double>& weights) const {
+  const std::size_t n = speedups.num_users();
+  const std::size_t k = speedups.num_types();
+  OEF_CHECK(capacities.size() == k);
+  const std::vector<double> w = effective_weights(n, weights);
+  const double total_weight = std::accumulate(w.begin(), w.end(), 0.0);
+
+  // Max-min starting point (weight-proportional).
+  core::Allocation x(n, k);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t j = 0; j < k; ++j) {
+      x.at(l, j) = capacities[j] * w[l] / total_weight;
+    }
+  }
+
+  // Pairwise auctions, largest type gap first: for each fast type from the
+  // top, absorb the slowest types first.
+  for (std::size_t f = k; f-- > 1;) {
+    for (std::size_t s = 0; s < f; ++s) {
+      run_pair_auction(speedups, x, s, f);
+    }
+  }
+  return x;
+}
+
+}  // namespace oef::sched

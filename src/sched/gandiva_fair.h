@@ -1,0 +1,32 @@
+// Gandiva_fair baseline (Chaudhary et al., EuroSys'20), reimplemented to the
+// behaviour the paper analyses in §2.4.
+//
+// Users start from a max-min (equal per-type) split, then trade slow-GPU
+// shares for fast-GPU shares in a greedy second-price auction:
+//   * trades run per (slow, fast) type pair, largest speedup gap first;
+//   * buyers are served in descending speedup-ratio order;
+//   * the device exchange rate is the second-highest remaining ratio while
+//     three or more traders remain, and the midpoint of the last two ratios
+//     otherwise (this is the unique rule reproducing the §2.4 numbers:
+//     X = <1,0.09; 0,0.47; 0,0.44>, honest second-round price 2.5, and
+//     cheating price 2.9);
+//   * sellers are the least-accelerated holders of fast shares and only sell
+//     while the price strictly benefits them.
+// Trading stops for a buyer when no seller benefits or shares run out, so the
+// procedure is sharing-incentive but (as §2.4 shows) neither envy-free nor
+// strategy-proof.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace oef::sched {
+
+class GandivaFairScheduler : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "GandivaFair"; }
+  [[nodiscard]] core::Allocation allocate(const core::SpeedupMatrix& speedups,
+                                          const std::vector<double>& capacities,
+                                          const std::vector<double>& weights) const override;
+};
+
+}  // namespace oef::sched

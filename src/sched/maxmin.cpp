@@ -1,0 +1,35 @@
+#include "sched/maxmin.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace oef::sched {
+
+std::vector<double> effective_weights(std::size_t num_users,
+                                      const std::vector<double>& weights) {
+  if (weights.empty()) return std::vector<double>(num_users, 1.0);
+  OEF_CHECK(weights.size() == num_users);
+  for (const double w : weights) OEF_CHECK_MSG(w > 0.0, "weights must be positive");
+  return weights;
+}
+
+core::Allocation MaxMinScheduler::allocate(const core::SpeedupMatrix& speedups,
+                                           const std::vector<double>& capacities,
+                                           const std::vector<double>& weights) const {
+  const std::size_t n = speedups.num_users();
+  const std::size_t k = speedups.num_types();
+  OEF_CHECK(capacities.size() == k);
+  const std::vector<double> w = effective_weights(n, weights);
+  const double total_weight = std::accumulate(w.begin(), w.end(), 0.0);
+
+  core::Allocation allocation(n, k);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t j = 0; j < k; ++j) {
+      allocation.at(l, j) = capacities[j] * w[l] / total_weight;
+    }
+  }
+  return allocation;
+}
+
+}  // namespace oef::sched

@@ -1,0 +1,17 @@
+// Max-Min fairness baseline (§2.3.3): every user receives an equal (or
+// weight-proportional) share of every GPU type, ignoring speedups entirely.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace oef::sched {
+
+class MaxMinScheduler : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "MaxMin"; }
+  [[nodiscard]] core::Allocation allocate(const core::SpeedupMatrix& speedups,
+                                          const std::vector<double>& capacities,
+                                          const std::vector<double>& weights) const override;
+};
+
+}  // namespace oef::sched

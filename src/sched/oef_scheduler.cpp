@@ -1,0 +1,18 @@
+#include "sched/oef_scheduler.h"
+
+#include "common/check.h"
+
+namespace oef::sched {
+
+core::Allocation OefScheduler::allocate(const core::SpeedupMatrix& speedups,
+                                        const std::vector<double>& capacities,
+                                        const std::vector<double>& weights) const {
+  const std::vector<double> multiplicities =
+      effective_weights(speedups.num_users(), weights);
+  const core::AllocationResult result =
+      allocator_.allocate_weighted(speedups, multiplicities, capacities);
+  OEF_CHECK_MSG(result.ok(), "OEF allocation LP failed");
+  return result.allocation;
+}
+
+}  // namespace oef::sched

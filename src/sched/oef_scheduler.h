@@ -1,0 +1,28 @@
+// Scheduler-interface adapters for the OEF allocators, so the simulator and
+// benches can treat OEF and the baselines uniformly.
+#pragma once
+
+#include "core/oef.h"
+#include "sched/scheduler.h"
+
+namespace oef::sched {
+
+class OefScheduler : public Scheduler {
+ public:
+  explicit OefScheduler(core::OefAllocator::Mode mode, core::OefOptions options = {})
+      : allocator_(mode, options), mode_(mode) {}
+
+  [[nodiscard]] std::string name() const override {
+    return mode_ == core::OefAllocator::Mode::kNonCooperative ? "OEF-noncoop" : "OEF-coop";
+  }
+
+  [[nodiscard]] core::Allocation allocate(const core::SpeedupMatrix& speedups,
+                                          const std::vector<double>& capacities,
+                                          const std::vector<double>& weights) const override;
+
+ private:
+  core::OefAllocator allocator_;
+  core::OefAllocator::Mode mode_;
+};
+
+}  // namespace oef::sched

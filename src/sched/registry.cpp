@@ -1,0 +1,31 @@
+#include "sched/registry.h"
+
+#include "common/check.h"
+#include "sched/efficiency_max.h"
+#include "sched/gandiva_fair.h"
+#include "sched/gavel.h"
+#include "sched/maxmin.h"
+#include "sched/oef_scheduler.h"
+
+namespace oef::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "MaxMin") return std::make_unique<MaxMinScheduler>();
+  if (name == "GandivaFair") return std::make_unique<GandivaFairScheduler>();
+  if (name == "Gavel") return std::make_unique<GavelScheduler>();
+  if (name == "EfficiencyMax") return std::make_unique<EfficiencyMaxScheduler>();
+  if (name == "OEF-noncoop") {
+    return std::make_unique<OefScheduler>(core::OefAllocator::Mode::kNonCooperative);
+  }
+  if (name == "OEF-coop") {
+    return std::make_unique<OefScheduler>(core::OefAllocator::Mode::kCooperative);
+  }
+  OEF_CHECK_MSG(false, "unknown scheduler name");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"MaxMin", "GandivaFair", "Gavel", "EfficiencyMax", "OEF-noncoop", "OEF-coop"};
+}
+
+}  // namespace oef::sched

@@ -1,0 +1,21 @@
+// Name → scheduler factory, so experiment configs can select schedulers by
+// string ("OEF-coop", "Gavel", ...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace oef::sched {
+
+/// Creates a scheduler by name. Known names: "MaxMin", "GandivaFair",
+/// "Gavel", "EfficiencyMax", "OEF-noncoop", "OEF-coop". Aborts on unknown
+/// names (programming error in experiment configs).
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+/// All registered scheduler names.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+}  // namespace oef::sched

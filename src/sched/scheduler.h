@@ -1,0 +1,34 @@
+// Common interface for all GPU-share schedulers (OEF and the baselines it is
+// evaluated against). A scheduler maps a speedup matrix plus per-type
+// capacities to a (fractional) allocation matrix; integralisation and device
+// placement happen downstream in src/placement.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/speedup_matrix.h"
+
+namespace oef::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable scheduler name (used in bench output).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Computes the per-user fractional device shares. `weights` scales users'
+  /// entitlements (§4.2.3); pass an empty vector for equal weights.
+  [[nodiscard]] virtual core::Allocation allocate(
+      const core::SpeedupMatrix& speedups, const std::vector<double>& capacities,
+      const std::vector<double>& weights = {}) const = 0;
+};
+
+/// Normalises the weight vector: empty -> all ones; checks positivity.
+[[nodiscard]] std::vector<double> effective_weights(std::size_t num_users,
+                                                    const std::vector<double>& weights);
+
+}  // namespace oef::sched

@@ -1,0 +1,286 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/check.h"
+#include "core/speedup_matrix.h"
+#include "sched/registry.h"
+#include "workload/profiler.h"
+
+namespace oef::sim {
+
+namespace {
+
+/// Runtime state of one job inside the engine.
+struct JobState {
+  std::vector<cluster::DeviceId> last_devices;
+  std::size_t last_run_round = 0;
+  bool ever_ran = false;
+  bool cancelled = false;
+};
+
+}  // namespace
+
+SimulationEngine::SimulationEngine(const cluster::Cluster& cluster,
+                                   const workload::GpuCatalog& catalog,
+                                   std::vector<std::string> gpu_names,
+                                   const workload::ModelZoo& zoo, workload::Trace trace,
+                                   SimOptions options)
+    : cluster_(&cluster),
+      catalog_(&catalog),
+      gpu_names_(std::move(gpu_names)),
+      zoo_(&zoo),
+      trace_(std::move(trace)),
+      options_(std::move(options)) {
+  OEF_CHECK(gpu_names_.size() == cluster_->num_gpu_types());
+  for (const std::string& name : gpu_names_) {
+    OEF_CHECK_MSG(catalog_->contains(name), "cluster GPU type missing from catalog");
+  }
+}
+
+double SimulationEngine::job_reference_rate(const workload::Job& job) const {
+  // Per-worker samples/s on the slowest GPU type: the normalisation base.
+  return workload::throughput_samples_per_s(zoo_->get(job.model_name),
+                                            catalog_->get(gpu_names_.front()),
+                                            job.batch_size);
+}
+
+SimResult SimulationEngine::run() {
+  SimResult result;
+  const std::size_t k = cluster_->num_gpu_types();
+  const std::vector<double> capacities = cluster_->capacities();
+
+  auto scheduler = sched::make_scheduler(options_.scheduler);
+
+  workload::ProfilerOptions profiler_options;
+  profiler_options.error_rate = options_.profiling_error;
+  profiler_options.seed = options_.seed;
+  workload::Profiler profiler(*catalog_, gpu_names_, profiler_options);
+
+  std::vector<workload::Job>& jobs = trace_.jobs;
+  std::vector<JobState> job_state(jobs.size());
+
+  placement::DeviationRounder rounder(0, k, options_.rounding);
+  std::map<VirtualKey, std::size_t> slot_of;
+  placement::Packer packer(*cluster_, options_.packer);
+
+  const std::size_t round_limit =
+      options_.max_rounds > 0 ? options_.max_rounds : options_.hard_round_limit;
+
+  for (std::size_t round = 0; round < round_limit; ++round) {
+    const double now = static_cast<double>(round) * options_.round_seconds;
+
+    // Forced tenant exits: cancel whatever is unfinished.
+    for (const auto& [tenant_id, exit_round] : options_.forced_exit_round) {
+      if (exit_round != round) continue;
+      for (const workload::JobId job_id : trace_.tenants[tenant_id].jobs) {
+        if (!jobs[job_id].finished()) {
+          jobs[job_id].state = workload::JobState::kFinished;
+          job_state[job_id].cancelled = true;
+          ++result.cancelled_jobs;
+        }
+      }
+    }
+
+    // Collect active jobs grouped by (tenant, model): the virtual users.
+    std::map<VirtualKey, std::vector<workload::Job*>> active;
+    bool any_future_arrival = false;
+    for (workload::Job& job : jobs) {
+      if (job.finished()) continue;
+      if (job.arrival_time > now || trace_.tenants[job.tenant].arrival_time > now) {
+        any_future_arrival = true;
+        continue;
+      }
+      active[{job.tenant, job.model_name}].push_back(&job);
+    }
+    if (active.empty()) {
+      if (!any_future_arrival) break;
+      RoundRecord idle;
+      idle.round = round;
+      idle.time_seconds = now;
+      result.rounds.push_back(std::move(idle));
+      continue;
+    }
+
+    // Virtual-user table for this round (deterministic order: map is sorted).
+    std::vector<VirtualKey> keys;
+    std::vector<std::vector<double>> reported_rows;
+    std::vector<double> multiplicities;
+    std::map<workload::TenantId, std::size_t> types_per_tenant;
+    for (const auto& [key, job_list] : active) ++types_per_tenant[key.tenant];
+    for (auto& [key, job_list] : active) {
+      // Jobs in starvation order: least-recently-run first.
+      std::sort(job_list.begin(), job_list.end(),
+                [&](const workload::Job* a, const workload::Job* b) {
+                  const JobState& sa = job_state[a->id];
+                  const JobState& sb = job_state[b->id];
+                  const std::size_t ra = sa.ever_ran ? sa.last_run_round + 1 : 0;
+                  const std::size_t rb = sb.ever_ran ? sb.last_run_round + 1 : 0;
+                  if (ra != rb) return ra < rb;
+                  return a->id < b->id;
+                });
+      keys.push_back(key);
+      reported_rows.push_back(reported_speedups(*job_list.front(), round));
+      multiplicities.push_back(trace_.tenants[key.tenant].weight /
+                               static_cast<double>(types_per_tenant[key.tenant]));
+    }
+    const core::SpeedupMatrix reported(reported_rows);
+
+    // Fair shares from the configured scheduler.
+    const core::Allocation shares = scheduler->allocate(reported, capacities, multiplicities);
+
+    // Stable rounder slots per virtual user.
+    std::vector<std::size_t> slots(keys.size());
+    for (std::size_t v = 0; v < keys.size(); ++v) {
+      const auto [it, inserted] = slot_of.emplace(keys[v], slot_of.size());
+      slots[v] = it->second;
+      if (inserted) rounder.resize(slot_of.size());
+    }
+    core::Allocation slot_ideal(slot_of.size(), k);
+    std::vector<std::size_t> slot_min_demand(slot_of.size(), 0);
+    for (std::size_t v = 0; v < keys.size(); ++v) {
+      std::size_t min_workers = SIZE_MAX;
+      for (const workload::Job* job : active[keys[v]]) {
+        min_workers = std::min(min_workers, job->num_workers);
+      }
+      slot_min_demand[slots[v]] = min_workers;
+      for (std::size_t j = 0; j < k; ++j) slot_ideal.at(slots[v], j) = shares.at(v, j);
+    }
+    // Inactive slots keep a zero ideal and an effectively infinite demand so
+    // they are floored to zero and their devices freed.
+    for (auto& demand : slot_min_demand) {
+      if (demand == 0) demand = SIZE_MAX;
+    }
+    const std::vector<std::vector<int>> grants =
+        rounder.round(slot_ideal, capacities, slot_min_demand);
+
+    // Pack devices.
+    std::vector<placement::UserPackRequest> requests(keys.size());
+    for (std::size_t v = 0; v < keys.size(); ++v) {
+      requests[v].grant = grants[slots[v]];
+      for (const workload::Job* job : active[keys[v]]) requests[v].jobs.push_back(job);
+    }
+    const placement::PlacementPlan plan = packer.pack(requests);
+
+    // Execute the round.
+    RoundRecord record;
+    record.round = round;
+    record.time_seconds = now;
+    record.cross_type_jobs = plan.cross_type_jobs;
+    record.cross_host_jobs = plan.cross_host_jobs;
+    record.straggler_workers = plan.straggler_workers;
+    record.running_jobs = plan.placements.size();
+
+    std::map<workload::TenantId, TenantRound> tenant_rounds;
+    for (std::size_t v = 0; v < keys.size(); ++v) {
+      TenantRound& tr = tenant_rounds[keys[v].tenant];
+      tr.tenant = keys[v].tenant;
+      tr.estimated += reported.dot(v, shares.row(v));
+      for (std::size_t j = 0; j < k; ++j) {
+        tr.devices += static_cast<std::size_t>(grants[slots[v]][j]);
+      }
+    }
+
+    for (const placement::JobPlacement& placement : plan.placements) {
+      workload::Job& job = jobs[placement.job];
+      JobState& state = job_state[placement.job];
+
+      std::vector<cluster::DeviceId> devices = placement.devices;
+      std::sort(devices.begin(), devices.end());
+      const bool migrated = state.ever_ran && devices != state.last_devices;
+      if (migrated) ++record.migrated_jobs;
+
+      const workload::DlModelSpec& model = zoo_->get(job.model_name);
+      const workload::GpuSpec& slowest_spec =
+          catalog_->get(gpu_names_[placement.slowest_type]);
+      double per_worker_rate =
+          workload::throughput_samples_per_s(model, slowest_spec, job.batch_size);
+      if (placement.cross_host) per_worker_rate *= options_.cross_host_penalty;
+      if (job.num_workers > 1) per_worker_rate *= options_.multi_gpu_scaling;
+      const double steps_per_s = per_worker_rate / static_cast<double>(job.batch_size);
+
+      const double migration_delay = migrated ? options_.migration_seconds : 0.0;
+      const double effective_seconds =
+          std::max(0.0, options_.round_seconds - migration_delay);
+      const double steps_possible = steps_per_s * effective_seconds;
+      const double steps_needed = job.remaining_iterations();
+
+      double busy_fraction = 1.0;
+      if (steps_possible >= steps_needed) {
+        // Finishes mid-round.
+        const double finish_delay = migration_delay + steps_needed / steps_per_s;
+        job.completed_iterations = job.total_iterations;
+        job.finish_time = now + finish_delay;
+        job.state = workload::JobState::kFinished;
+        result.jct.push_back(job.finish_time - job.arrival_time);
+        ++result.finished_jobs;
+        result.makespan_seconds = std::max(result.makespan_seconds, job.finish_time);
+        busy_fraction = steps_possible > 0.0 ? finish_delay / options_.round_seconds : 0.0;
+      } else {
+        job.completed_iterations += steps_possible;
+        job.state = workload::JobState::kRunning;
+      }
+
+      // Actual normalised throughput: realised samples/s in units of the same
+      // device count on the slowest GPU type.
+      const double norm = static_cast<double>(job.num_workers) * per_worker_rate /
+                          job_reference_rate(job);
+      tenant_rounds[job.tenant].actual += norm * busy_fraction;
+
+      state.last_devices = std::move(devices);
+      state.last_run_round = round;
+      state.ever_ran = true;
+    }
+
+    for (auto& [tenant_id, tr] : tenant_rounds) {
+      record.tenants.push_back(tr);
+      result.total_estimated += tr.estimated;
+      result.total_actual += tr.actual;
+    }
+    result.total_cross_type_jobs += record.cross_type_jobs;
+    result.total_straggler_workers += record.straggler_workers;
+    result.total_migrations += record.migrated_jobs;
+    result.rounds.push_back(std::move(record));
+  }
+
+  if (result.makespan_seconds == 0.0 && !result.rounds.empty()) {
+    result.makespan_seconds =
+        result.rounds.back().time_seconds + options_.round_seconds;
+  }
+  return result;
+}
+
+std::vector<double> SimulationEngine::reported_speedups(const workload::Job& job,
+                                                        std::size_t round) const {
+  // Profiling uses a mutable profiler per call site; recreate deterministic
+  // noise from the engine seed + job identity so reports are stable across
+  // rounds (a tenant profiles each job type once, §4.1).
+  workload::ProfilerOptions profiler_options;
+  profiler_options.error_rate = options_.profiling_error;
+  profiler_options.seed = options_.seed ^ (0x9e3779b97f4a7c15ULL * (job.tenant + 1)) ^
+                          std::hash<std::string>{}(job.model_name);
+  workload::Profiler profiler(*catalog_, gpu_names_, profiler_options);
+  std::vector<double> speeds = profiler.profile(zoo_->get(job.model_name), job.batch_size);
+
+  for (const CheatSpec& cheat : options_.cheats) {
+    if (cheat.tenant != job.tenant || round < cheat.from_round) continue;
+    for (std::size_t j = 1; j < speeds.size(); ++j) {
+      speeds[j] = std::max(1.0, speeds[j] * cheat.factor);
+    }
+  }
+  return speeds;
+}
+
+SimResult run_simulation(const cluster::Cluster& cluster,
+                         const workload::GpuCatalog& catalog,
+                         std::vector<std::string> gpu_names, const workload::ModelZoo& zoo,
+                         workload::Trace trace, SimOptions options) {
+  SimulationEngine engine(cluster, catalog, std::move(gpu_names), zoo, std::move(trace),
+                          std::move(options));
+  return engine.run();
+}
+
+}  // namespace oef::sim

@@ -1,0 +1,105 @@
+// Round-based cluster simulator.
+//
+// Reproduces the paper's experimental loop (§3.2, §6.1): every round
+// (5 minutes by default) the engine profiles the active tenants' job types,
+// asks the configured scheduler for fractional shares, integralises them with
+// the deviation rounder, packs devices onto hosts, and advances every placed
+// job by its achieved throughput. The execution model charges the penalties
+// the paper's placer is designed to avoid:
+//   * cross-GPU-type worker groups run at the slowest member's speed
+//     (straggler effect, §4.4),
+//   * cross-host worker groups pay a synchronisation penalty,
+//   * device-set changes pay a checkpoint/restore migration cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "placement/packer.h"
+#include "placement/rounding.h"
+#include "sim/metrics.h"
+#include "workload/dl_models.h"
+#include "workload/gpu_catalog.h"
+#include "workload/job.h"
+#include "workload/trace.h"
+
+namespace oef::sim {
+
+struct CheatSpec {
+  workload::TenantId tenant = 0;
+  /// Multiplier applied to the tenant's reported speedups on every non-base
+  /// GPU type (the §2.3.1 misreport model; values > 1 exaggerate).
+  double factor = 1.0;
+  /// Round index from which the misreport applies.
+  std::size_t from_round = 0;
+};
+
+struct SimOptions {
+  std::string scheduler = "OEF-coop";
+  double round_seconds = 300.0;  // §6.1.1 default
+  /// 0 = run until every job finishes.
+  std::size_t max_rounds = 0;
+  /// Safety valve when max_rounds == 0.
+  std::size_t hard_round_limit = 20000;
+
+  placement::RoundingOptions rounding;
+  placement::PackerOptions packer;
+
+  /// Profiling error fed to the reported speedups (Fig. 10b).
+  double profiling_error = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Execution model.
+  double cross_host_penalty = 0.85;
+  double multi_gpu_scaling = 0.95;
+  double migration_seconds = 30.0;
+
+  /// Misreporting tenants (Fig. 4b).
+  std::vector<CheatSpec> cheats;
+  /// Tenants forced to leave (round index); their unfinished jobs are
+  /// cancelled (Fig. 4's user-4 exit).
+  std::map<workload::TenantId, std::size_t> forced_exit_round;
+};
+
+class SimulationEngine {
+ public:
+  /// `gpu_names[t]` maps cluster GPU type t to a catalog entry; must be
+  /// ordered slowest → fastest, matching the cluster's type order.
+  SimulationEngine(const cluster::Cluster& cluster, const workload::GpuCatalog& catalog,
+                   std::vector<std::string> gpu_names, const workload::ModelZoo& zoo,
+                   workload::Trace trace, SimOptions options);
+
+  /// Runs the simulation to completion and returns all metrics.
+  [[nodiscard]] SimResult run();
+
+ private:
+  struct VirtualKey {
+    workload::TenantId tenant;
+    std::string model_name;
+    auto operator<=>(const VirtualKey&) const = default;
+  };
+
+  [[nodiscard]] double job_reference_rate(const workload::Job& job) const;
+  [[nodiscard]] std::vector<double> reported_speedups(const workload::Job& job,
+                                                      std::size_t round) const;
+
+  const cluster::Cluster* cluster_;
+  const workload::GpuCatalog* catalog_;
+  std::vector<std::string> gpu_names_;
+  const workload::ModelZoo* zoo_;
+  workload::Trace trace_;
+  SimOptions options_;
+};
+
+/// Convenience wrapper: construct, run, return.
+[[nodiscard]] SimResult run_simulation(const cluster::Cluster& cluster,
+                                       const workload::GpuCatalog& catalog,
+                                       std::vector<std::string> gpu_names,
+                                       const workload::ModelZoo& zoo, workload::Trace trace,
+                                       SimOptions options);
+
+}  // namespace oef::sim

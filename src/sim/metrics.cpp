@@ -1,0 +1,32 @@
+#include "sim/metrics.h"
+
+namespace oef::sim {
+
+double SimResult::mean_jct() const {
+  if (jct.empty()) return 0.0;
+  double total = 0.0;
+  for (const double value : jct) total += value;
+  return total / static_cast<double>(jct.size());
+}
+
+std::vector<double> SimResult::tenant_actual_series(workload::TenantId tenant) const {
+  std::vector<double> series(rounds.size(), 0.0);
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    for (const TenantRound& entry : rounds[r].tenants) {
+      if (entry.tenant == tenant) series[r] = entry.actual;
+    }
+  }
+  return series;
+}
+
+std::vector<double> SimResult::tenant_estimated_series(workload::TenantId tenant) const {
+  std::vector<double> series(rounds.size(), 0.0);
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    for (const TenantRound& entry : rounds[r].tenants) {
+      if (entry.tenant == tenant) series[r] = entry.estimated;
+    }
+  }
+  return series;
+}
+
+}  // namespace oef::sim

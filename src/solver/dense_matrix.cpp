@@ -1,0 +1,65 @@
+#include "solver/dense_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace oef::solver {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& DenseMatrix::at(std::size_t r, std::size_t c) {
+  OEF_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double DenseMatrix::at(std::size_t r, std::size_t c) const {
+  OEF_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double* DenseMatrix::row(std::size_t r) {
+  OEF_CHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+const double* DenseMatrix::row(std::size_t r) const {
+  OEF_CHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+  OEF_CHECK(x.size() == cols_);
+  std::vector<double> result(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    result[r] = acc;
+  }
+  return result;
+}
+
+std::vector<double> DenseMatrix::multiply_transposed(const std::vector<double>& y) const {
+  OEF_CHECK(y.size() == rows_);
+  std::vector<double> result(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = row(r);
+    const double scale = y[r];
+    if (scale == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) result[c] += scale * row_ptr[c];
+  }
+  return result;
+}
+
+void DenseMatrix::append_row(const std::vector<double>& values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  OEF_CHECK(values.size() == cols_);
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+void DenseMatrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+}  // namespace oef::solver

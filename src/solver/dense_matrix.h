@@ -1,0 +1,44 @@
+// Row-major dense matrix used by the LP solver. The allocation LPs in this
+// repository are small and dense (≤ a few thousand columns, a few hundred
+// rows), so a contiguous dense layout beats any sparse structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oef::solver {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Pointer to the start of row r (contiguous cols() doubles).
+  [[nodiscard]] double* row(std::size_t r);
+  [[nodiscard]] const double* row(std::size_t r) const;
+
+  /// result = this * x. Requires x.size() == cols().
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// result = this^T * y. Requires y.size() == rows().
+  [[nodiscard]] std::vector<double> multiply_transposed(const std::vector<double>& y) const;
+
+  /// Appends a row; `values` must have cols() entries (or the matrix is empty,
+  /// in which case it defines cols()).
+  void append_row(const std::vector<double>& values);
+
+  void fill(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace oef::solver

@@ -1,0 +1,29 @@
+#include "solver/lazy.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace oef::solver {
+
+LazySolveResult LazyConstraintSolver::solve(LpModel& model,
+                                            const SeparationOracle& oracle) const {
+  LazySolveResult result;
+  for (result.rounds = 1; result.rounds <= max_rounds_; ++result.rounds) {
+    result.solution = solver_.solve(model);
+    if (!result.solution.optimal()) return result;
+
+    std::vector<Constraint> violated = oracle(result.solution.values);
+    if (violated.empty()) {
+      result.converged = true;
+      return result;
+    }
+    result.rows_added += violated.size();
+    for (auto& constraint : violated) model.add_constraint(std::move(constraint));
+    common::log_debug("lazy solver: round " + std::to_string(result.rounds) + " added " +
+                      std::to_string(violated.size()) + " rows");
+  }
+  // Ran out of rounds; report the last relaxation's solution, not converged.
+  return result;
+}
+
+}  // namespace oef::solver

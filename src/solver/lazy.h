@@ -1,0 +1,47 @@
+// Lazy-constraint (row-generation) wrapper around SimplexSolver.
+//
+// Cooperative OEF has n(n-1) envy-freeness rows; at n = 300 tenants that is
+// ~90k constraints, of which only a handful are active at the optimum. The
+// LazyConstraintSolver starts from a relaxed model, asks a caller-provided
+// separation oracle for rows violated by the current optimum, adds them, and
+// re-solves until the oracle is satisfied.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "solver/lp_model.h"
+#include "solver/simplex.h"
+
+namespace oef::solver {
+
+/// Given the current optimal point (VarId-indexed), returns constraints that
+/// the point violates; an empty result means the point is feasible for the
+/// full (implicit) model.
+using SeparationOracle =
+    std::function<std::vector<Constraint>(const std::vector<double>& point)>;
+
+struct LazySolveResult {
+  LpSolution solution;
+  /// Number of solve / separate rounds performed.
+  std::size_t rounds = 0;
+  /// Total rows added by the oracle across all rounds.
+  std::size_t rows_added = 0;
+  /// True when the final solution satisfies the oracle.
+  bool converged = false;
+};
+
+class LazyConstraintSolver {
+ public:
+  explicit LazyConstraintSolver(SolverOptions options = {}, std::size_t max_rounds = 200)
+      : solver_(options), max_rounds_(max_rounds) {}
+
+  /// Solves `model` (which is extended in place with the generated rows).
+  [[nodiscard]] LazySolveResult solve(LpModel& model, const SeparationOracle& oracle) const;
+
+ private:
+  SimplexSolver solver_;
+  std::size_t max_rounds_;
+};
+
+}  // namespace oef::solver

@@ -1,0 +1,78 @@
+#include "solver/lp_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace oef::solver {
+
+LinearExpr& LinearExpr::add(VarId var, double coeff) {
+  if (coeff != 0.0) terms_.push_back({var, coeff});
+  return *this;
+}
+
+double LinearExpr::evaluate(const std::vector<double>& values) const {
+  double acc = 0.0;
+  for (const auto& [var, coeff] : terms_) {
+    OEF_CHECK(var < values.size());
+    acc += coeff * values[var];
+  }
+  return acc;
+}
+
+VarId LpModel::add_variable(std::string name, double lower, double upper,
+                            double objective) {
+  OEF_CHECK_MSG(lower <= upper, "variable bounds crossed");
+  variables_.push_back(Variable{std::move(name), lower, upper, objective});
+  return variables_.size() - 1;
+}
+
+void LpModel::set_objective(VarId var, double coeff) {
+  OEF_CHECK(var < variables_.size());
+  variables_[var].objective = coeff;
+}
+
+std::size_t LpModel::add_constraint(Constraint constraint) {
+  for (const auto& term : constraint.expr.terms()) {
+    OEF_CHECK_MSG(term.var < variables_.size(), "constraint references unknown variable");
+  }
+  constraints_.push_back(std::move(constraint));
+  return constraints_.size() - 1;
+}
+
+std::size_t LpModel::add_constraint(LinearExpr expr, Relation relation, double rhs,
+                                    std::string name) {
+  return add_constraint(Constraint{std::move(expr), relation, rhs, std::move(name)});
+}
+
+double LpModel::objective_value(const std::vector<double>& values) const {
+  OEF_CHECK(values.size() == variables_.size());
+  double acc = 0.0;
+  for (std::size_t v = 0; v < variables_.size(); ++v) acc += variables_[v].objective * values[v];
+  return acc;
+}
+
+bool LpModel::is_feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != variables_.size()) return false;
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    if (values[v] < variables_[v].lower - tol) return false;
+    if (values[v] > variables_[v].upper + tol) return false;
+  }
+  for (const auto& constraint : constraints_) {
+    const double lhs = constraint.expr.evaluate(values);
+    switch (constraint.relation) {
+      case Relation::kLessEqual:
+        if (lhs > constraint.rhs + tol) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (lhs < constraint.rhs - tol) return false;
+        break;
+      case Relation::kEqual:
+        if (std::abs(lhs - constraint.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace oef::solver

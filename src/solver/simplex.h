@@ -1,0 +1,63 @@
+// Two-phase primal simplex for dense linear programs.
+//
+// This is the repository's replacement for the cvxpy + ECOS stack the paper's
+// prototype uses: all OEF and baseline allocators reduce to LPs solved here.
+// The implementation is a full-tableau two-phase simplex with:
+//   * general variable bounds (shift / split / upper-bound rows),
+//   * Dantzig pricing with an automatic switch to Bland's rule on stalling,
+//   * optional row/column equilibration scaling,
+//   * redundant-row elimination after phase 1,
+//   * dual values (shadow prices) for every constraint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "solver/lp_model.h"
+
+namespace oef::solver {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+struct SolverOptions {
+  /// Feasibility / pricing tolerance.
+  double tolerance = 1e-9;
+  /// 0 means automatic: 200 * (rows + cols) + 10000.
+  std::size_t max_iterations = 0;
+  /// Consecutive non-improving pivots before switching to Bland's rule.
+  std::size_t stall_limit = 128;
+  /// Row/column max-equilibration before solving.
+  bool enable_scaling = true;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective in the model's own sense (maximisation objectives are not negated).
+  double objective = 0.0;
+  /// One value per model variable (VarId-indexed). Empty unless optimal.
+  std::vector<double> values;
+  /// Shadow price per constraint: d(objective)/d(rhs) at the optimum,
+  /// in the model's sense. Empty unless optimal.
+  std::vector<double> duals;
+  std::size_t iterations = 0;
+  std::size_t phase1_iterations = 0;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SolverOptions options = {});
+
+  /// Solves the model. The model is not modified; the solution vector is
+  /// indexed by VarId.
+  [[nodiscard]] LpSolution solve(const LpModel& model) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace oef::solver

@@ -1,0 +1,47 @@
+// Jobs and tenants: the unit of work the schedulers allocate GPUs to.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oef::workload {
+
+using JobId = std::size_t;
+using TenantId = std::size_t;
+
+enum class JobState { kPending, kRunning, kFinished };
+
+/// One DL training job. Progress is measured in iterations; the simulator
+/// advances `completed_iterations` according to the throughput of the devices
+/// the job runs on each round.
+struct Job {
+  JobId id = 0;
+  TenantId tenant = 0;
+  std::string model_name;
+  std::size_t batch_size = 64;
+  /// GPUs this job wants when running (its worker group size).
+  std::size_t num_workers = 1;
+  double total_iterations = 0.0;
+  double completed_iterations = 0.0;
+  /// Seconds since simulation start.
+  double arrival_time = 0.0;
+  double finish_time = -1.0;
+  JobState state = JobState::kPending;
+
+  [[nodiscard]] bool finished() const { return state == JobState::kFinished; }
+  [[nodiscard]] double remaining_iterations() const {
+    return total_iterations - completed_iterations;
+  }
+};
+
+/// A tenant owns a set of jobs and a scheduling weight (§4.2.3).
+struct Tenant {
+  TenantId id = 0;
+  std::string name;
+  double weight = 1.0;
+  std::vector<JobId> jobs;
+  double arrival_time = 0.0;
+};
+
+}  // namespace oef::workload

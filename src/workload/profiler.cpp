@@ -1,0 +1,44 @@
+#include "workload/profiler.h"
+
+#include "common/check.h"
+
+namespace oef::workload {
+
+Profiler::Profiler(const GpuCatalog& catalog, std::vector<std::string> gpu_names,
+                   ProfilerOptions options)
+    : catalog_(&catalog),
+      gpu_names_(std::move(gpu_names)),
+      options_(options),
+      rng_(options.seed) {
+  OEF_CHECK(!gpu_names_.empty());
+  for (const std::string& name : gpu_names_) {
+    OEF_CHECK_MSG(catalog_->contains(name), "profiler: GPU not in catalog");
+  }
+}
+
+std::vector<double> Profiler::true_speedups(const DlModelSpec& model,
+                                            std::size_t batch_size) const {
+  const GpuSpec& reference = catalog_->get(gpu_names_.front());
+  std::vector<double> result;
+  result.reserve(gpu_names_.size());
+  for (const std::string& name : gpu_names_) {
+    result.push_back(speedup(model, catalog_->get(name), reference, batch_size));
+  }
+  return result;
+}
+
+std::vector<double> Profiler::profile(const DlModelSpec& model, std::size_t batch_size) {
+  std::vector<double> speeds = true_speedups(model, batch_size);
+  if (options_.error_rate != 0.0) {
+    for (double& s : speeds) {
+      s *= 1.0 + rng_.uniform(-options_.error_rate, options_.error_rate);
+    }
+    // Re-normalise to the slowest type, preserving the §2.3 convention.
+    const double base = speeds.front();
+    OEF_CHECK(base > 0.0);
+    for (double& s : speeds) s /= base;
+  }
+  return speeds;
+}
+
+}  // namespace oef::workload

@@ -1,0 +1,52 @@
+// Profiling agent (§4.1).
+//
+// In the paper, tenants submit one representative task per job type; the
+// agent runs a few mini-batches on every GPU type and reports the measured
+// speedup vector. Here profiling is computed from the analytic model, with an
+// optional multiplicative error to study robustness (Fig. 10b) and an
+// optional adversarial override to study cheating (Fig. 4b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/dl_models.h"
+#include "workload/gpu_catalog.h"
+
+namespace oef::workload {
+
+struct ProfilerOptions {
+  /// Uniform relative error applied independently per (model, GPU type):
+  /// reported = true * (1 + uniform(-error_rate, +error_rate)).
+  double error_rate = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Produces (normalised) speedup vectors across an ordered set of GPU types.
+class Profiler {
+ public:
+  /// `gpu_names` must be ordered slowest → fastest and exist in the catalog.
+  Profiler(const GpuCatalog& catalog, std::vector<std::string> gpu_names,
+           ProfilerOptions options = {});
+
+  /// True speedup vector, normalised so the slowest type is 1.0.
+  [[nodiscard]] std::vector<double> true_speedups(const DlModelSpec& model,
+                                                  std::size_t batch_size) const;
+
+  /// Measured speedup vector: true speedups perturbed by the profiling error,
+  /// re-normalised to the slowest type.
+  [[nodiscard]] std::vector<double> profile(const DlModelSpec& model,
+                                            std::size_t batch_size);
+
+  [[nodiscard]] std::size_t num_gpu_types() const { return gpu_names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& gpu_names() const { return gpu_names_; }
+
+ private:
+  const GpuCatalog* catalog_;
+  std::vector<std::string> gpu_names_;
+  ProfilerOptions options_;
+  common::Rng rng_;
+};
+
+}  // namespace oef::workload

@@ -1,0 +1,106 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace oef::workload {
+
+namespace {
+
+/// Batch sizes used for hyper-parameter exploration, per the paper's setup
+/// ("each job was assigned a random combination of hyperparameters ... within
+/// a reasonable range").
+constexpr std::size_t kBatchChoices[] = {16, 32, 64, 128};
+
+[[nodiscard]] std::size_t sample_workers(common::Rng& rng, const TraceOptions& options) {
+  const double draw = rng.uniform();
+  if (draw < options.p_one_worker) return 1;
+  if (draw < options.p_one_worker + options.p_two_workers) return 2;
+  return 4;
+}
+
+[[nodiscard]] Job make_job(common::Rng& rng, const TraceOptions& options, JobId id,
+                           TenantId tenant, const std::string& model_name,
+                           double arrival_time) {
+  Job job;
+  job.id = id;
+  job.tenant = tenant;
+  job.model_name = model_name;
+  job.batch_size = kBatchChoices[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(std::size(kBatchChoices)) - 1))];
+  job.num_workers = sample_workers(rng, options);
+  job.total_iterations = rng.lognormal(options.iterations_mu, options.iterations_sigma);
+  job.total_iterations = std::max(job.total_iterations, 100.0);
+  job.arrival_time = arrival_time;
+  return job;
+}
+
+}  // namespace
+
+Trace generate_trace(const ModelZoo& zoo, const TraceOptions& options) {
+  OEF_CHECK(options.num_tenants > 0);
+  common::Rng rng(options.seed);
+  Trace trace;
+  const std::vector<std::string> model_names = zoo.names();
+
+  double arrival_clock = 0.0;
+  for (std::size_t t = 0; t < options.num_tenants; ++t) {
+    Tenant tenant;
+    tenant.id = t;
+    tenant.name = "tenant-" + std::to_string(t);
+    tenant.weight = 1.0;
+    if (options.tenant_arrival_rate_per_hour > 0.0) {
+      arrival_clock += rng.exponential(options.tenant_arrival_rate_per_hour / 3600.0);
+      tenant.arrival_time = arrival_clock;
+    }
+
+    const auto num_jobs = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, rng.uniform_int(1, static_cast<std::int64_t>(
+                                          2.0 * options.mean_jobs_per_tenant))));
+    const bool single_model = rng.uniform() < options.single_model_fraction;
+    const std::string primary_model = model_names[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(model_names.size()) - 1))];
+
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      std::string model = primary_model;
+      if (!single_model && rng.uniform() < 0.5) {
+        model = model_names[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(model_names.size()) - 1))];
+      }
+      Job job = make_job(rng, options, trace.jobs.size(), tenant.id, model,
+                         tenant.arrival_time);
+      tenant.jobs.push_back(job.id);
+      trace.jobs.push_back(std::move(job));
+    }
+    trace.tenants.push_back(std::move(tenant));
+  }
+  return trace;
+}
+
+Trace make_four_tenant_trace(const ModelZoo& zoo, std::size_t jobs_per_tenant,
+                             double iterations_per_job) {
+  const char* models[4] = {"VGG16", "ResNet50", "Transformer", "LSTM"};
+  Trace trace;
+  for (std::size_t t = 0; t < 4; ++t) {
+    OEF_CHECK(zoo.contains(models[t]));
+    Tenant tenant;
+    tenant.id = t;
+    tenant.name = std::string("user") + std::to_string(t + 1);
+    for (std::size_t j = 0; j < jobs_per_tenant; ++j) {
+      Job job;
+      job.id = trace.jobs.size();
+      job.tenant = t;
+      job.model_name = models[t];
+      job.batch_size = zoo.get(models[t]).reference_batch;
+      job.num_workers = 1;
+      job.total_iterations = iterations_per_job;
+      trace.jobs.push_back(job);
+      tenant.jobs.push_back(job.id);
+    }
+    trace.tenants.push_back(std::move(tenant));
+  }
+  return trace;
+}
+
+}  // namespace oef::workload

@@ -1,0 +1,52 @@
+// Synthetic workload traces.
+//
+// The paper keeps "cluster contention levels consistent with those observed
+// in Microsoft's Philly trace" (§6.1.2). The real trace is not available
+// offline, so this generator reproduces its published shape: most tenants run
+// recurring hyper-parameter-search batches of one model type (≈90% per the
+// Alibaba study cited in §2.1), job durations are heavy-tailed (log-normal),
+// worker groups are small powers of two, and arrivals are Poisson with a
+// load factor expressed relative to cluster capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/dl_models.h"
+#include "workload/job.h"
+
+namespace oef::workload {
+
+struct TraceOptions {
+  std::size_t num_tenants = 20;
+  /// Mean jobs per tenant (Poisson, min 1).
+  double mean_jobs_per_tenant = 20.0;
+  /// Fraction of tenants running a single model type (hyper-parameter search).
+  double single_model_fraction = 0.9;
+  /// Tenant arrival rate in tenants/hour; 0 means everyone arrives at t = 0.
+  double tenant_arrival_rate_per_hour = 0.0;
+  /// Log-normal parameters of job length in iterations.
+  double iterations_mu = 10.2;     // e^10.2 ≈ 27k iterations median
+  double iterations_sigma = 1.1;   // heavy tail, Philly-like
+  /// Distribution over worker-group sizes {1, 2, 4}.
+  double p_one_worker = 0.6;
+  double p_two_workers = 0.25;     // remainder goes to 4-worker jobs
+  std::uint64_t seed = 7;
+};
+
+struct Trace {
+  std::vector<Tenant> tenants;
+  std::vector<Job> jobs;
+};
+
+/// Generates a trace over the given model zoo.
+[[nodiscard]] Trace generate_trace(const ModelZoo& zoo, const TraceOptions& options);
+
+/// A fixed four-tenant micro-trace matching the small-scale fairness
+/// experiments (§6.2): tenants run VGG16 / ResNet50 / Transformer / LSTM
+/// hyper-parameter batches respectively.
+[[nodiscard]] Trace make_four_tenant_trace(const ModelZoo& zoo, std::size_t jobs_per_tenant,
+                                           double iterations_per_job);
+
+}  // namespace oef::workload

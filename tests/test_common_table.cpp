@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace oef::common {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NE(table.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatsPrecision) {
+  Table table({"label", "v1", "v2"});
+  table.add_numeric_row("row", {1.23456, 2.0}, 2);
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("1.23"), std::string::npos);
+  EXPECT_NE(rendered.find("2.00"), std::string::npos);
+}
+
+TEST(FormatHelpers, Basic) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_factor(1.32, 2), "1.32x");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("quote\"inside"), "\"quote\"\"inside\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"h1", "h2"});
+  writer.write_numeric_row("x", {1.0, 2.5}, 1);
+  EXPECT_EQ(out.str(), "h1,h2\nx,1.0,2.5\n");
+}
+
+}  // namespace
+}  // namespace oef::common

@@ -1,0 +1,305 @@
+// Property suites over randomised instances: the theorems of §5 must hold on
+// every instance the generators produce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/allocation.h"
+#include "core/oef.h"
+#include "core/properties.h"
+#include "core/speedup_matrix.h"
+
+namespace oef::core {
+namespace {
+
+/// Random normalised speedup matrix with non-decreasing rows (types ordered
+/// slow -> fast for every user, per footnote 1 of §2.3).
+SpeedupMatrix random_matrix(common::Rng& rng, std::size_t n, std::size_t k) {
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) {
+    row.resize(k);
+    row[0] = 1.0;
+    for (std::size_t j = 1; j < k; ++j) {
+      row[j] = row[j - 1] * rng.uniform(1.0, 2.0);
+    }
+  }
+  return SpeedupMatrix(std::move(rows));
+}
+
+std::vector<double> random_capacities(common::Rng& rng, std::size_t k) {
+  std::vector<double> m(k);
+  for (double& v : m) v = static_cast<double>(rng.uniform_int(1, 8));
+  return m;
+}
+
+struct Instance {
+  std::size_t n;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class OefPropertyTest : public ::testing::TestWithParam<Instance> {};
+
+TEST_P(OefPropertyTest, NonCoopEqualisesEfficiencyAndIsPareto) {
+  const Instance inst = GetParam();
+  common::Rng rng(inst.seed);
+  const SpeedupMatrix w = random_matrix(rng, inst.n, inst.k);
+  const std::vector<double> m = random_capacities(rng, inst.k);
+
+  const AllocationResult result = make_non_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.allocation.respects_capacity(m));
+
+  const std::vector<double> eff = result.allocation.efficiencies(w);
+  for (std::size_t l = 1; l < inst.n; ++l) {
+    EXPECT_NEAR(eff[l], eff[0], 1e-5 * (1.0 + eff[0]));
+  }
+  // Equal-efficiency optimum is Pareto-efficient within its constraint set:
+  // here we check the weaker global property that no user can gain without
+  // another losing, which the LP guarantees via total-efficiency optimality
+  // among equal-efficiency allocations. The full Pareto check uses the
+  // unconstrained polytope and can legitimately find gains, so we assert
+  // work conservation instead: some GPU type is saturated.
+  const std::vector<double> used = result.allocation.used_per_type();
+  bool any_saturated = false;
+  for (std::size_t j = 0; j < inst.k; ++j) {
+    if (used[j] > m[j] - 1e-6) any_saturated = true;
+  }
+  EXPECT_TRUE(any_saturated);
+}
+
+TEST_P(OefPropertyTest, CoopIsEnvyFreeSharingIncentiveAndPareto) {
+  const Instance inst = GetParam();
+  common::Rng rng(inst.seed + 1);
+  const SpeedupMatrix w = random_matrix(rng, inst.n, inst.k);
+  const std::vector<double> m = random_capacities(rng, inst.k);
+
+  const AllocationResult result = make_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.allocation.respects_capacity(m));
+  EXPECT_TRUE(check_envy_freeness(w, result.allocation).envy_free)
+      << "worst violation " << check_envy_freeness(w, result.allocation).worst_violation;
+  EXPECT_TRUE(check_sharing_incentive(w, result.allocation, m).sharing_incentive)
+      << "worst violation "
+      << check_sharing_incentive(w, result.allocation, m).worst_violation;
+  // Theorem 5.3's actual claim: no envy-free Pareto improvement exists. The
+  // unrestricted global check can fail by small margins (see EXPERIMENTS.md).
+  const ParetoReport pareto =
+      check_pareto_efficiency_within_envy_free(w, result.allocation, m, 1e-4);
+  EXPECT_TRUE(pareto.pareto_efficient) << "gain " << pareto.achievable_gain;
+}
+
+TEST(OefParetoFinding, GlobalParetoCanFailForCoop) {
+  // Reproduction finding: cooperative OEF maximises efficiency over the
+  // envy-free polytope, so a *global* Pareto improvement that breaks
+  // envy-freeness can exist. This documents a concrete instance (found by
+  // random search) where it does.
+  common::Rng rng(555);
+  bool found_gap = false;
+  for (int trial = 0; trial < 40 && !found_gap; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 10));
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(2, 5));
+    {
+      // Advance the generator exactly like the ordered arm of the search that
+      // located the counterexamples, to keep the instance stream aligned.
+      std::vector<double> base(k);
+      base[0] = 1.0;
+      for (std::size_t j = 1; j < k; ++j) base[j] = base[j - 1] * rng.uniform(1.05, 1.8);
+      for (std::size_t l = 0; l < n; ++l) {
+        (void)rng.uniform(0.0, 0.2);
+      }
+      std::vector<double> m(k);
+      for (double& v : m) v = static_cast<double>(rng.uniform_int(1, 8));
+    }
+    std::vector<std::vector<double>> rows(n);
+    for (auto& row : rows) {
+      row.resize(k);
+      row[0] = 1.0;
+      for (std::size_t j = 1; j < k; ++j) row[j] = row[j - 1] * rng.uniform(1.0, 2.0);
+    }
+    const SpeedupMatrix w(std::move(rows));
+    std::vector<double> m(k);
+    for (double& v : m) v = static_cast<double>(rng.uniform_int(1, 8));
+
+    const AllocationResult result = make_cooperative_oef().allocate(w, m);
+    if (!result.ok()) continue;
+    const ParetoReport global = check_pareto_efficiency(w, result.allocation, m, 1e-5);
+    if (!global.pareto_efficient) {
+      found_gap = true;
+      // The improvement must break envy-freeness, otherwise the coop LP
+      // optimum would have been higher — sanity-check via the EF-restricted
+      // test, which must pass.
+      EXPECT_TRUE(check_pareto_efficiency_within_envy_free(w, result.allocation, m, 1e-4)
+                      .pareto_efficient);
+    }
+  }
+  EXPECT_TRUE(found_gap)
+      << "expected at least one instance where global Pareto efficiency fails";
+}
+
+TEST_P(OefPropertyTest, CoopLazyMatchesEagerObjective) {
+  const Instance inst = GetParam();
+  common::Rng rng(inst.seed + 2);
+  const SpeedupMatrix w = random_matrix(rng, inst.n, inst.k);
+  const std::vector<double> m = random_capacities(rng, inst.k);
+
+  OefOptions lazy_opts;
+  lazy_opts.lazy_envy_constraints = true;
+  OefOptions eager_opts;
+  eager_opts.lazy_envy_constraints = false;
+  const AllocationResult lazy = make_cooperative_oef(lazy_opts).allocate(w, m);
+  const AllocationResult eager = make_cooperative_oef(eager_opts).allocate(w, m);
+  ASSERT_TRUE(lazy.ok());
+  ASSERT_TRUE(eager.ok());
+  EXPECT_NEAR(lazy.total_efficiency, eager.total_efficiency,
+              1e-5 * (1.0 + eager.total_efficiency));
+}
+
+TEST_P(OefPropertyTest, BothModesUseAdjacentTypesOnly) {
+  // Theorem 5.2 assumes the paper's ordered setting (users sortable by
+  // dominance, types consistently ordered); crossing speedup rows can have
+  // optimal allocations with gaps, so the property is tested on dominance
+  // chains.
+  const Instance inst = GetParam();
+  common::Rng rng(inst.seed + 3);
+  std::vector<std::vector<double>> rows(inst.n);
+  std::vector<double> base(inst.k);
+  base[0] = 1.0;
+  for (std::size_t j = 1; j < inst.k; ++j) base[j] = base[j - 1] * rng.uniform(1.05, 1.7);
+  for (std::size_t l = 0; l < inst.n; ++l) {
+    rows[l].resize(inst.k);
+    const double boost = 1.0 + rng.uniform(0.2, 0.5) + 0.4 * static_cast<double>(l);
+    rows[l][0] = 1.0;
+    for (std::size_t j = 1; j < inst.k; ++j) rows[l][j] = 1.0 + (base[j] - 1.0) * boost;
+  }
+  const SpeedupMatrix w(std::move(rows));
+  const std::vector<double> m = random_capacities(rng, inst.k);
+
+  const AllocationResult noncoop = make_non_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(noncoop.ok());
+  EXPECT_TRUE(noncoop.allocation.uses_adjacent_types_only(1e-6));
+
+  const AllocationResult coop = make_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(coop.ok());
+  EXPECT_TRUE(coop.allocation.uses_adjacent_types_only(1e-6));
+}
+
+TEST_P(OefPropertyTest, NonCoopFastPathMatchesLp) {
+  const Instance inst = GetParam();
+  common::Rng rng(inst.seed + 4);
+  // Totally ordered instance: multiply a base row by increasing user factors
+  // applied to the increment, keeping elementwise dominance.
+  std::vector<std::vector<double>> rows(inst.n);
+  std::vector<double> base(inst.k);
+  base[0] = 1.0;
+  for (std::size_t j = 1; j < inst.k; ++j) base[j] = base[j - 1] * rng.uniform(1.05, 1.8);
+  for (std::size_t l = 0; l < inst.n; ++l) {
+    rows[l].resize(inst.k);
+    const double boost = 1.0 + 0.3 * static_cast<double>(l);
+    rows[l][0] = 1.0;
+    for (std::size_t j = 1; j < inst.k; ++j) {
+      rows[l][j] = 1.0 + (base[j] - 1.0) * boost;
+    }
+  }
+  const SpeedupMatrix w(std::move(rows));
+  const std::vector<double> m = random_capacities(rng, inst.k);
+
+  const AllocationResult lp = make_non_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(lp.ok());
+  const auto fast = non_cooperative_fast_path(
+      w, std::vector<double>(inst.n, 1.0), m);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_NEAR(fast->total_efficiency(w), lp.total_efficiency,
+              1e-5 * (1.0 + lp.total_efficiency));
+  EXPECT_TRUE(fast->respects_capacity(m, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, OefPropertyTest,
+    ::testing::Values(Instance{2, 2, 11}, Instance{3, 2, 22}, Instance{3, 3, 33},
+                      Instance{4, 3, 44}, Instance{5, 3, 55}, Instance{5, 4, 66},
+                      Instance{6, 4, 77}, Instance{8, 3, 88}, Instance{8, 5, 99},
+                      Instance{10, 4, 111}, Instance{12, 5, 222}, Instance{16, 6, 333}),
+    [](const ::testing::TestParamInfo<Instance>& info) {
+      return "n" + std::to_string(info.param.n) + "k" + std::to_string(info.param.k) +
+             "s" + std::to_string(info.param.seed);
+    });
+
+TEST(OefStrategyProofness, NonCoopResistsRandomAttacks) {
+  common::Rng rng(404);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 6));
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    const SpeedupMatrix w = random_matrix(rng, n, k);
+    const std::vector<double> m = random_capacities(rng, k);
+
+    const OefAllocator noncoop = make_non_cooperative_oef();
+    const AllocatorFn allocator = [&](const SpeedupMatrix& reported,
+                                      const std::vector<double>& caps) {
+      const AllocationResult result = noncoop.allocate(reported, caps);
+      EXPECT_TRUE(result.ok());
+      return result.allocation;
+    };
+    AttackOptions attack;
+    attack.attempts_per_user = 8;
+    attack.seed = 1000 + static_cast<std::uint64_t>(trial);
+    attack.tol = 1e-5;
+    const StrategyProofnessReport report =
+        check_strategy_proofness(w, m, allocator, attack);
+    EXPECT_TRUE(report.strategy_proof)
+        << "trial " << trial << ": user " << report.worst_user << " gained "
+        << report.worst_gain;
+  }
+}
+
+TEST(OefStrategyProofness, CoopIsNotStrategyProof) {
+  // The paper's own example (§3.1): coop OEF can be gamed, so the attack
+  // harness must find a gain for W = <1,2; 1,5>.
+  const SpeedupMatrix w({{1, 2}, {1, 5}});
+  const std::vector<double> m = {1.0, 1.0};
+  const OefAllocator coop = make_cooperative_oef();
+  const AllocatorFn allocator = [&](const SpeedupMatrix& reported,
+                                    const std::vector<double>& caps) {
+    const AllocationResult result = coop.allocate(reported, caps);
+    EXPECT_TRUE(result.ok());
+    return result.allocation;
+  };
+  AttackOptions attack;
+  attack.attempts_per_user = 60;
+  attack.max_exaggeration = 2.4;
+  const StrategyProofnessReport report = check_strategy_proofness(w, m, allocator, attack);
+  EXPECT_FALSE(report.strategy_proof);
+  EXPECT_GT(report.worst_gain, 0.05);
+}
+
+TEST(OefEdgeCases, SingleUserTakesEverything) {
+  const SpeedupMatrix w({{1, 3}});
+  const std::vector<double> m = {2.0, 4.0};
+  const AllocationResult result = make_non_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.total_efficiency, 2.0 + 12.0, 1e-6);
+}
+
+TEST(OefEdgeCases, IdenticalUsersSplitEvenly) {
+  const SpeedupMatrix w({{1, 2}, {1, 2}});
+  const std::vector<double> m = {4.0, 4.0};
+  const AllocationResult result = make_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.allocation.efficiency(0, w), result.allocation.efficiency(1, w), 1e-6);
+  EXPECT_NEAR(result.total_efficiency, 12.0, 1e-6);
+}
+
+TEST(OefEdgeCases, SingleGpuTypeReducesToEqualSplit) {
+  const SpeedupMatrix w({{1.0}, {1.0}, {1.0}});
+  const std::vector<double> m = {6.0};
+  const AllocationResult result = make_non_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_NEAR(result.allocation.at(l, 0), 2.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace oef::core
