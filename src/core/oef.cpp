@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 #include "solver/lp_model.h"
@@ -63,6 +64,18 @@ void build_base_model(LpModel& model, const SpeedupMatrix& w,
   double eff = 0.0;
   for (std::size_t j = 0; j < k; ++j) eff += w.at(l, j) * values[var_of(l, j, k)];
   return eff / multiplicities[l];
+}
+
+/// Efficiency user l would obtain from user i's bundle at `values`, at 1/r_i
+/// scale: w_l · x_i / r_i.
+[[nodiscard]] double envied_efficiency(const SpeedupMatrix& w,
+                                       const std::vector<double>& multiplicities,
+                                       const std::vector<double>& values, std::size_t l,
+                                       std::size_t i) {
+  const std::size_t k = w.num_types();
+  double eff = 0.0;
+  for (std::size_t j = 0; j < k; ++j) eff += w.at(l, j) * values[var_of(i, j, k)];
+  return eff / multiplicities[i];
 }
 
 /// Envy row: w_l·x_l / r_l  −  w_l·x_i / r_i  ≥ 0.
@@ -165,7 +178,16 @@ std::optional<Allocation> non_cooperative_fast_path(
 }
 
 OefAllocator::OefAllocator(Mode mode, OefOptions options)
-    : mode_(mode), options_(options) {}
+    : mode_(mode),
+      options_(options),
+      coop_solver_(options.solver),
+      noncoop_solver_(options.solver) {}
+
+solver::LpSolverStats OefAllocator::solver_stats() const {
+  solver::LpSolverStats stats = coop_solver_.stats();
+  stats.merge(noncoop_solver_.stats());
+  return stats;
+}
 
 AllocationResult OefAllocator::allocate(const SpeedupMatrix& speedups,
                                         const std::vector<double>& capacities) const {
@@ -216,11 +238,20 @@ AllocationResult OefAllocator::solve_non_cooperative(
                          "eq_" + std::to_string(l));
   }
 
-  const solver::SimplexSolver lp(options_.solver);
-  const solver::LpSolution solution = lp.solve(model);
+  // Persistent solver: across simulator rounds with a stable user population
+  // the model shape repeats, so the previous optimal basis warm-starts this
+  // solve (equal-efficiency rows only move in their coefficients).
+  const double seconds_before = noncoop_solver_.stats().solve_seconds;
+  const solver::LpSolution solution = noncoop_solver_.solve(model);
   AllocationResult result;
   result.status = solution.status;
   result.lp_iterations = solution.iterations;
+  result.solve_seconds = noncoop_solver_.stats().solve_seconds - seconds_before;
+  if (solution.warm_started) {
+    result.warm_lp_iterations = solution.iterations;
+  } else {
+    result.cold_lp_iterations = solution.iterations;
+  }
   if (!solution.optimal()) return result;
   result.allocation = extract_allocation(solution.values, n, k);
   result.total_efficiency = result.allocation.total_efficiency(speedups);
@@ -243,14 +274,38 @@ AllocationResult OefAllocator::solve_cooperative(
         if (i != l) model.add_constraint(envy_row(speedups, multiplicities, l, i));
       }
     }
-    const solver::SimplexSolver lp(options_.solver);
-    const solver::LpSolution solution = lp.solve(model);
+    // Same persistent solver as the lazy path: stats accumulate, the
+    // configured algorithm applies, and repeat calls of the same shape
+    // warm-start.
+    const double seconds_before = coop_solver_.stats().solve_seconds;
+    const solver::LpSolution solution = coop_solver_.solve(model);
+    result.solve_seconds = coop_solver_.stats().solve_seconds - seconds_before;
     result.status = solution.status;
     result.lp_iterations = solution.iterations;
+    if (solution.warm_started) {
+      result.warm_lp_iterations = solution.iterations;
+    } else {
+      result.cold_lp_iterations = solution.iterations;
+    }
     if (!solution.optimal()) return result;
     result.allocation = extract_allocation(solution.values, n, k);
     result.total_efficiency = result.allocation.total_efficiency(speedups);
     return result;
+  }
+
+  // Recycle the envy rows that were binding at the previous optimum into the
+  // initial relaxation: across simulator rounds the active set barely moves,
+  // so the first solve usually satisfies the oracle outright — and because
+  // the recycled model has the same shape as last round's final model, the
+  // solver also reuses the previous optimal basis.
+  std::vector<std::pair<std::size_t, std::size_t>> session_pairs;
+  if (options_.recycle_envy_rows && envy_pool_users_ == n) {
+    for (const auto& [l, i] : envy_pool_) {
+      if (l < n && i < n && l != i) {
+        model.add_constraint(envy_row(speedups, multiplicities, l, i));
+        session_pairs.push_back({l, i});
+      }
+    }
   }
 
   // Lazy row generation: add every violated envy row per round (capped per
@@ -264,12 +319,7 @@ AllocationResult OefAllocator::solve_cooperative(
       std::vector<std::pair<double, std::size_t>> gaps;
       for (std::size_t i = 0; i < n; ++i) {
         if (i == l) continue;
-        double envied = 0.0;
-        for (std::size_t j = 0; j < k; ++j) {
-          envied += speedups.at(l, j) * point[var_of(i, j, k)];
-        }
-        envied /= multiplicities[i];
-        const double gap = envied - own;
+        const double gap = envied_efficiency(speedups, multiplicities, point, l, i) - own;
         if (gap > options_.envy_tolerance) gaps.push_back({gap, i});
       }
       std::sort(gaps.begin(), gaps.end(),
@@ -277,17 +327,22 @@ AllocationResult OefAllocator::solve_cooperative(
       const std::size_t per_user_cap = 8;
       for (std::size_t g = 0; g < std::min(per_user_cap, gaps.size()); ++g) {
         violated.push_back(envy_row(speedups, multiplicities, l, gaps[g].second));
+        session_pairs.push_back({l, gaps[g].second});
       }
     }
     return violated;
   };
 
   const solver::LazyConstraintSolver lazy(options_.solver, options_.max_lazy_rounds);
-  const solver::LazySolveResult lazy_result = lazy.solve(model, oracle);
+  const solver::LazySolveResult lazy_result = lazy.solve(coop_solver_, model, oracle);
   result.status = lazy_result.solution.status;
-  result.lp_iterations = lazy_result.solution.iterations;
+  result.lp_iterations = lazy_result.total_iterations;
   result.lazy_rounds = lazy_result.rounds;
   result.envy_rows_added = lazy_result.rows_added;
+  result.warm_rounds = lazy_result.warm_rounds;
+  result.cold_lp_iterations = lazy_result.cold_iterations;
+  result.warm_lp_iterations = lazy_result.warm_iterations;
+  result.solve_seconds = lazy_result.solve_seconds;
   if (!lazy_result.solution.optimal() || !lazy_result.converged) {
     if (!lazy_result.converged && lazy_result.solution.optimal()) {
       result.status = solver::SolveStatus::kIterationLimit;
@@ -296,6 +351,21 @@ AllocationResult OefAllocator::solve_cooperative(
   }
   result.allocation = extract_allocation(lazy_result.solution.values, n, k);
   result.total_efficiency = result.allocation.total_efficiency(speedups);
+
+  // Refresh the recycled pool with the rows binding at this optimum.
+  if (options_.recycle_envy_rows) {
+    std::sort(session_pairs.begin(), session_pairs.end());
+    session_pairs.erase(std::unique(session_pairs.begin(), session_pairs.end()),
+                        session_pairs.end());
+    envy_pool_.clear();
+    const std::vector<double>& point = lazy_result.solution.values;
+    for (const auto& [l, i] : session_pairs) {
+      const double own = scaled_efficiency(speedups, multiplicities, point, l);
+      const double envied = envied_efficiency(speedups, multiplicities, point, l, i);
+      if (own - envied < 1e-6) envy_pool_.push_back({l, i});
+    }
+    envy_pool_users_ = n;
+  }
   return result;
 }
 

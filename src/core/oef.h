@@ -16,11 +16,13 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/speedup_matrix.h"
 #include "solver/lazy.h"
+#include "solver/lp_solver.h"
 #include "solver/simplex.h"
 
 namespace oef::core {
@@ -35,7 +37,12 @@ struct OefOptions {
   double envy_tolerance = 1e-7;
   /// Non-cooperative mode: use the O(nk log) water-filling fast path when the
   /// instance is totally ordered, falling back to the LP otherwise.
-  bool use_fast_path = false;
+  bool use_fast_path = true;
+  /// Cooperative mode: seed the next allocate() call's relaxation with the
+  /// envy rows that were binding at the previous optimum (same user count),
+  /// so round-over-round calls in the simulator typically converge in one
+  /// warm-started lazy round.
+  bool recycle_envy_rows = true;
 };
 
 struct AllocationResult {
@@ -43,16 +50,28 @@ struct AllocationResult {
   solver::SolveStatus status = solver::SolveStatus::kIterationLimit;
   /// Σ w_l · x_l at the optimum.
   double total_efficiency = 0.0;
+  /// Simplex pivots across all LP solves of this call.
   std::size_t lp_iterations = 0;
   /// Cooperative-lazy statistics (zero otherwise).
   std::size_t lazy_rounds = 0;
   std::size_t envy_rows_added = 0;
+  /// Lazy rounds >= 2 completed by a warm dual-simplex resolve, and the
+  /// pivot split between cold solves and warm resolves.
+  std::size_t warm_rounds = 0;
+  std::size_t cold_lp_iterations = 0;
+  std::size_t warm_lp_iterations = 0;
+  /// Wall-clock seconds spent inside the LP solver.
+  double solve_seconds = 0.0;
   /// True when the fast path produced the result (no LP solved).
   bool used_fast_path = false;
 
   [[nodiscard]] bool ok() const { return status == solver::SolveStatus::kOptimal; }
 };
 
+/// OEF allocator. allocate() is logically const but reuses internal solver
+/// state (the previous optimal basis and the recycled envy-row pool) across
+/// calls to warm-start round-over-round solves, so concurrent allocate()
+/// calls on one instance require external synchronisation.
 class OefAllocator {
  public:
   enum class Mode { kNonCooperative, kCooperative };
@@ -60,6 +79,10 @@ class OefAllocator {
   explicit OefAllocator(Mode mode, OefOptions options = {});
 
   [[nodiscard]] Mode mode() const { return mode_; }
+
+  /// Cumulative LP-solver counters (cold solves, warm resolves, basis-reuse
+  /// hits, pivots, seconds) across all allocate() calls on this instance.
+  [[nodiscard]] solver::LpSolverStats solver_stats() const;
 
   /// Unweighted allocation: every user has multiplicity 1.
   [[nodiscard]] AllocationResult allocate(const SpeedupMatrix& speedups,
@@ -81,6 +104,15 @@ class OefAllocator {
 
   Mode mode_;
   OefOptions options_;
+  /// Persistent solvers: kept alive across allocate() calls so the lazy envy
+  /// loop dual-simplex-resolves within a call and same-shaped models across
+  /// calls reuse the previous optimal basis (see solver/lp_solver.h).
+  mutable solver::LpSolver coop_solver_;
+  mutable solver::LpSolver noncoop_solver_;
+  /// Envy rows (l envies i) binding at the previous cooperative optimum,
+  /// recycled into the next call's initial relaxation.
+  mutable std::vector<std::pair<std::size_t, std::size_t>> envy_pool_;
+  mutable std::size_t envy_pool_users_ = 0;
 };
 
 /// Convenience factories matching the paper's terminology.

@@ -42,7 +42,6 @@ core::Allocation GavelScheduler::allocate(const core::SpeedupMatrix& speedups,
   std::vector<double> floor_ratio(n, 0.0);
   std::vector<double> last_values;
 
-  const solver::SimplexSolver lp;
   for (std::size_t level = 0; level < options_.levels; ++level) {
     LpModel model(Sense::kMaximize);
     for (std::size_t l = 0; l < n; ++l) {
@@ -66,7 +65,7 @@ core::Allocation GavelScheduler::allocate(const core::SpeedupMatrix& speedups,
       }
     }
 
-    const solver::LpSolution solution = lp.solve(model);
+    const solver::LpSolution solution = level_solver_.solve(model);
     OEF_CHECK_MSG(solution.optimal(), "Gavel LP must solve");
     last_values = solution.values;
     const double level_ratio = solution.values[t];
@@ -98,7 +97,7 @@ core::Allocation GavelScheduler::allocate(const core::SpeedupMatrix& speedups,
         probe_model.add_constraint(std::move(expr), Relation::kGreaterEqual,
                                    floor * isolated[l]);
       }
-      const solver::LpSolution probe_solution = lp.solve(probe_model);
+      const solver::LpSolution probe_solution = probe_solver_.solve(probe_model);
       OEF_CHECK_MSG(probe_solution.optimal(), "Gavel probe LP must solve");
       const double best_ratio = probe_solution.objective / isolated[probe];
       if (best_ratio <= level_ratio + 1e-7) {

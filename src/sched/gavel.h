@@ -27,8 +27,19 @@ class GavelScheduler : public Scheduler {
                                           const std::vector<double>& capacities,
                                           const std::vector<double>& weights) const override;
 
+  [[nodiscard]] SchedulerTelemetry telemetry() const override {
+    solver::LpSolverStats stats = level_solver_.stats();
+    stats.merge(probe_solver_.stats());
+    return to_telemetry(stats);
+  }
+
  private:
   GavelOptions options_;
+  /// Persistent solvers: the level LP keeps its shape across water-filling
+  /// levels and simulator rounds, and the probe LP keeps its shape across
+  /// probes, so each solve warm-starts from the previous optimal basis.
+  mutable solver::LpSolver level_solver_;
+  mutable solver::LpSolver probe_solver_;
 };
 
 }  // namespace oef::sched

@@ -20,6 +20,10 @@ class OefScheduler : public Scheduler {
                                           const std::vector<double>& capacities,
                                           const std::vector<double>& weights) const override;
 
+  [[nodiscard]] SchedulerTelemetry telemetry() const override {
+    return to_telemetry(allocator_.solver_stats());
+  }
+
  private:
   core::OefAllocator allocator_;
   core::OefAllocator::Mode mode_;

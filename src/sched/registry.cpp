@@ -1,6 +1,7 @@
 #include "sched/registry.h"
 
-#include "common/check.h"
+#include <stdexcept>
+
 #include "sched/efficiency_max.h"
 #include "sched/gandiva_fair.h"
 #include "sched/gavel.h"
@@ -20,8 +21,13 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
   if (name == "OEF-coop") {
     return std::make_unique<OefScheduler>(core::OefAllocator::Mode::kCooperative);
   }
-  OEF_CHECK_MSG(false, "unknown scheduler name");
-  return nullptr;  // unreachable
+  std::string known;
+  for (const std::string& candidate : scheduler_names()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  throw std::invalid_argument("unknown scheduler name \"" + name +
+                              "\"; known schedulers: " + known);
 }
 
 std::vector<std::string> scheduler_names() {

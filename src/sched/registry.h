@@ -11,8 +11,9 @@
 namespace oef::sched {
 
 /// Creates a scheduler by name. Known names: "MaxMin", "GandivaFair",
-/// "Gavel", "EfficiencyMax", "OEF-noncoop", "OEF-coop". Aborts on unknown
-/// names (programming error in experiment configs).
+/// "Gavel", "EfficiencyMax", "OEF-noncoop", "OEF-coop". Throws
+/// std::invalid_argument (listing the known names) on anything else, so
+/// experiment configs get a recoverable, descriptive error.
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
 
 /// All registered scheduler names.

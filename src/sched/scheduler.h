@@ -10,8 +10,22 @@
 
 #include "core/allocation.h"
 #include "core/speedup_matrix.h"
+#include "solver/lp_solver.h"
 
 namespace oef::sched {
+
+/// LP-solver counters accumulated by a scheduler across allocate() calls;
+/// zero for closed-form schedulers that never solve an LP. The simulator
+/// copies these into SimResult so overhead benches can report how much of
+/// each round went to the optimiser and how often warm starts hit.
+struct SchedulerTelemetry {
+  std::size_t lp_cold_solves = 0;
+  std::size_t lp_warm_resolves = 0;
+  std::size_t lp_warm_start_hits = 0;
+  std::size_t lp_tableau_fallbacks = 0;
+  std::size_t lp_iterations = 0;
+  double lp_solve_seconds = 0.0;
+};
 
 class Scheduler {
  public:
@@ -22,13 +36,31 @@ class Scheduler {
 
   /// Computes the per-user fractional device shares. `weights` scales users'
   /// entitlements (§4.2.3); pass an empty vector for equal weights.
+  /// Logically const, but LP-backed schedulers keep solver state warm across
+  /// calls (previous optimal basis, recycled rows), so calls on one instance
+  /// must be externally serialised.
   [[nodiscard]] virtual core::Allocation allocate(
       const core::SpeedupMatrix& speedups, const std::vector<double>& capacities,
       const std::vector<double>& weights = {}) const = 0;
+
+  /// Cumulative optimiser counters; default for closed-form schedulers.
+  [[nodiscard]] virtual SchedulerTelemetry telemetry() const { return {}; }
 };
 
 /// Normalises the weight vector: empty -> all ones; checks positivity.
 [[nodiscard]] std::vector<double> effective_weights(std::size_t num_users,
                                                     const std::vector<double>& weights);
+
+/// Maps LpSolver counters onto the scheduler telemetry shape.
+[[nodiscard]] inline SchedulerTelemetry to_telemetry(const solver::LpSolverStats& stats) {
+  SchedulerTelemetry t;
+  t.lp_cold_solves = stats.cold_solves;
+  t.lp_warm_resolves = stats.warm_resolves;
+  t.lp_warm_start_hits = stats.warm_start_hits;
+  t.lp_tableau_fallbacks = stats.tableau_fallbacks;
+  t.lp_iterations = stats.total_iterations;
+  t.lp_solve_seconds = stats.solve_seconds;
+  return t;
+}
 
 }  // namespace oef::sched

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <set>
@@ -129,8 +130,15 @@ SimResult SimulationEngine::run() {
     }
     const core::SpeedupMatrix reported(reported_rows);
 
-    // Fair shares from the configured scheduler.
+    // Fair shares from the configured scheduler. The scheduler object (and
+    // with it any warm LP-solver state) lives across all rounds of the run,
+    // so round r+1's solve starts from round r's optimal basis.
+    const auto solve_start = std::chrono::steady_clock::now();
     const core::Allocation shares = scheduler->allocate(reported, capacities, multiplicities);
+    const double solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start)
+            .count();
+    result.total_solve_seconds += solve_seconds;
 
     // Stable rounder slots per virtual user.
     std::vector<std::size_t> slots(keys.size());
@@ -169,6 +177,7 @@ SimResult SimulationEngine::run() {
     RoundRecord record;
     record.round = round;
     record.time_seconds = now;
+    record.solve_seconds = solve_seconds;
     record.cross_type_jobs = plan.cross_type_jobs;
     record.cross_host_jobs = plan.cross_host_jobs;
     record.straggler_workers = plan.straggler_workers;
@@ -250,6 +259,7 @@ SimResult SimulationEngine::run() {
     result.makespan_seconds =
         result.rounds.back().time_seconds + options_.round_seconds;
   }
+  result.scheduler_telemetry = scheduler->telemetry();
   return result;
 }
 

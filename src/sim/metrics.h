@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "sched/scheduler.h"
 #include "workload/job.h"
 
 namespace oef::sim {
@@ -30,6 +31,9 @@ struct RoundRecord {
   std::size_t straggler_workers = 0;
   std::size_t migrated_jobs = 0;
   std::size_t running_jobs = 0;
+  /// Wall-clock seconds the scheduler spent computing this round's shares
+  /// (the Fig. 10a overhead quantity, measured in-situ).
+  double solve_seconds = 0.0;
 };
 
 struct SimResult {
@@ -46,6 +50,10 @@ struct SimResult {
   std::size_t total_cross_type_jobs = 0;
   std::size_t total_straggler_workers = 0;
   std::size_t total_migrations = 0;
+  /// Scheduler-compute seconds summed over rounds, plus the scheduler's own
+  /// cumulative optimiser counters (warm-start hits, pivots, ...).
+  double total_solve_seconds = 0.0;
+  sched::SchedulerTelemetry scheduler_telemetry;
 
   /// Mean of per-round tenant sums.
   [[nodiscard]] double mean_estimated_per_round() const {

@@ -1,0 +1,118 @@
+#include "solver/basis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace oef::solver {
+
+void Basis::set_basic(std::vector<std::size_t> basic) {
+  basic_ = std::move(basic);
+  binv_.assign(basic_.size(), std::vector<double>(basic_.size(), 0.0));
+  for (std::size_t i = 0; i < basic_.size(); ++i) binv_[i][i] = 1.0;
+  pivots_since_refactor_ = 0;
+}
+
+bool Basis::refactor(
+    const std::function<void(std::size_t col, std::vector<double>& out)>& column) {
+  const std::size_t m = basic_.size();
+  if (m == 0) {
+    pivots_since_refactor_ = 0;
+    return true;
+  }
+  // Assemble [B | I] and run Gauss-Jordan with partial pivoting.
+  std::vector<std::vector<double>> work(m, std::vector<double>(2 * m, 0.0));
+  std::vector<double> col(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    column(basic_[j], col);
+    for (std::size_t r = 0; r < m; ++r) work[r][j] = col[r];
+    work[j][m + j] = 1.0;
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    std::size_t pivot = c;
+    for (std::size_t r = c; r < m; ++r) {
+      if (std::abs(work[r][c]) > std::abs(work[pivot][c])) pivot = r;
+    }
+    if (std::abs(work[pivot][c]) < 1e-12) return false;
+    std::swap(work[c], work[pivot]);
+    const double inv = 1.0 / work[c][c];
+    for (double& v : work[c]) v *= inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == c) continue;
+      const double f = work[r][c];
+      if (f == 0.0) continue;
+      for (std::size_t k = c; k < 2 * m; ++k) work[r][k] -= f * work[c][k];
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    std::copy(work[r].begin() + static_cast<std::ptrdiff_t>(m), work[r].end(),
+              binv_[r].begin());
+  }
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+std::vector<double> Basis::ftran(const std::vector<double>& a) const {
+  const std::size_t m = basic_.size();
+  OEF_CHECK(a.size() == m);
+  std::vector<double> w(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double>& row = binv_[i];
+    double acc = 0.0;
+    for (std::size_t k = 0; k < m; ++k) acc += row[k] * a[k];
+    w[i] = acc;
+  }
+  return w;
+}
+
+std::vector<double> Basis::btran(const std::vector<double>& cb) const {
+  const std::size_t m = basic_.size();
+  OEF_CHECK(cb.size() == m);
+  std::vector<double> y(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double c = cb[i];
+    if (c == 0.0) continue;
+    const std::vector<double>& row = binv_[i];
+    for (std::size_t k = 0; k < m; ++k) y[k] += c * row[k];
+  }
+  return y;
+}
+
+void Basis::pivot(std::size_t leave_row, std::size_t enter_col,
+                  const std::vector<double>& ftran_col) {
+  const std::size_t m = basic_.size();
+  OEF_CHECK(leave_row < m);
+  OEF_CHECK(ftran_col.size() == m);
+  std::vector<double>& prow = binv_[leave_row];
+  const double inv = 1.0 / ftran_col[leave_row];
+  for (double& v : prow) v *= inv;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == leave_row) continue;
+    const double f = ftran_col[i];
+    if (f == 0.0) continue;
+    std::vector<double>& row = binv_[i];
+    for (std::size_t k = 0; k < m; ++k) row[k] -= f * prow[k];
+  }
+  basic_[leave_row] = enter_col;
+  ++pivots_since_refactor_;
+}
+
+void Basis::append_row(const std::vector<double>& row_basic_coeffs, std::size_t slack_col) {
+  const std::size_t m = basic_.size();
+  OEF_CHECK(row_basic_coeffs.size() == m);
+  // New bottom row of the inverse: -a_B^T B^-1, then 1 on the diagonal.
+  std::vector<double> bottom(m + 1, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double c = row_basic_coeffs[i];
+    if (c == 0.0) continue;
+    const std::vector<double>& row = binv_[i];
+    for (std::size_t k = 0; k < m; ++k) bottom[k] -= c * row[k];
+  }
+  bottom[m] = 1.0;
+  for (std::size_t i = 0; i < m; ++i) binv_[i].push_back(0.0);
+  binv_.push_back(std::move(bottom));
+  basic_.push_back(slack_col);
+}
+
+}  // namespace oef::solver

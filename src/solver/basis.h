@@ -1,0 +1,67 @@
+// Simplex basis abstraction: the set of basic columns plus an explicit dense
+// inverse of the basis matrix, maintained across pivots.
+//
+// The revised simplex in lp_solver.cpp keeps the constraint matrix A fixed
+// and represents the current vertex entirely through this object: solves with
+// B^-1 (ftran/btran), rank-one pivot updates, periodic refactorisation to
+// bound numerical drift, and O(m^2) expansion when a constraint row is
+// appended — the operation that makes warm-started row generation cheap.
+// Dense is the right trade-off here: the allocation LPs are small (hundreds
+// of rows) and dense, so a product-form or LU factorisation would not pay.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace oef::solver {
+
+class Basis {
+ public:
+  /// Number of rows (== number of basic columns).
+  [[nodiscard]] std::size_t size() const { return basic_.size(); }
+
+  /// Column index basic in each row.
+  [[nodiscard]] const std::vector<std::size_t>& basic() const { return basic_; }
+
+  /// Installs a basic set without factorising; call refactor() before any
+  /// ftran/btran. Resets the pivot counter.
+  void set_basic(std::vector<std::size_t> basic);
+
+  /// Recomputes B^-1 from scratch. `column(j, out)` must fill `out` (size m)
+  /// with column j of the constraint matrix. Returns false when the basis
+  /// matrix is numerically singular (the previous inverse is left in place).
+  [[nodiscard]] bool refactor(
+      const std::function<void(std::size_t col, std::vector<double>& out)>& column);
+
+  /// w = B^-1 a.
+  [[nodiscard]] std::vector<double> ftran(const std::vector<double>& a) const;
+
+  /// y^T = c_B^T B^-1 (one entry per row).
+  [[nodiscard]] std::vector<double> btran(const std::vector<double>& cb) const;
+
+  /// Row r of B^-1 (== e_r^T B^-1), used for the dual-simplex pivot row.
+  [[nodiscard]] const std::vector<double>& row(std::size_t r) const { return binv_[r]; }
+
+  /// Applies the pivot (leave_row, enter_col) as a rank-one update of B^-1.
+  /// `ftran_col` must be B^-1 A_enter as returned by ftran().
+  void pivot(std::size_t leave_row, std::size_t enter_col,
+             const std::vector<double>& ftran_col);
+
+  /// Extends the basis for one appended constraint row whose slack column
+  /// (index `slack_col`) becomes basic in the new row. `row_basic_coeffs`
+  /// holds the new row's coefficient on each current basic column, in row
+  /// order. Keeps B^-1 exact: the new inverse is
+  ///   [ B^-1              0 ]
+  ///   [ -a_B^T B^-1       1 ].
+  void append_row(const std::vector<double>& row_basic_coeffs, std::size_t slack_col);
+
+  [[nodiscard]] std::size_t pivots_since_refactor() const { return pivots_since_refactor_; }
+
+ private:
+  std::vector<std::size_t> basic_;
+  std::vector<std::vector<double>> binv_;
+  std::size_t pivots_since_refactor_ = 0;
+};
+
+}  // namespace oef::solver

@@ -7,9 +7,26 @@ namespace oef::solver {
 
 LazySolveResult LazyConstraintSolver::solve(LpModel& model,
                                             const SeparationOracle& oracle) const {
+  LpSolver solver(options_);
+  return solve(solver, model, oracle);
+}
+
+LazySolveResult LazyConstraintSolver::solve(LpSolver& solver, LpModel& model,
+                                            const SeparationOracle& oracle) const {
   LazySolveResult result;
+  const double seconds_before = solver.stats().solve_seconds;
   for (result.rounds = 1; result.rounds <= max_rounds_; ++result.rounds) {
-    result.solution = solver_.solve(model);
+    // Round 1 loads the model (possibly reusing the basis of a previous
+    // same-shaped session); later rounds repair the basis incrementally.
+    result.solution = result.rounds == 1 ? solver.solve(model) : solver.resolve();
+    result.total_iterations += result.solution.iterations;
+    if (result.rounds > 1 && result.solution.warm_started) {
+      ++result.warm_rounds;
+      result.warm_iterations += result.solution.iterations;
+    } else {
+      result.cold_iterations += result.solution.iterations;
+    }
+    result.solve_seconds = solver.stats().solve_seconds - seconds_before;
     if (!result.solution.optimal()) return result;
 
     std::vector<Constraint> violated = oracle(result.solution.values);
@@ -18,7 +35,9 @@ LazySolveResult LazyConstraintSolver::solve(LpModel& model,
       return result;
     }
     result.rows_added += violated.size();
-    for (auto& constraint : violated) model.add_constraint(std::move(constraint));
+    // Keep the caller's model in sync with the solver's internal copy.
+    for (const Constraint& constraint : violated) model.add_constraint(constraint);
+    solver.add_rows(violated);
     common::log_debug("lazy solver: round " + std::to_string(result.rounds) + " added " +
                       std::to_string(violated.size()) + " rows");
   }

@@ -1,16 +1,24 @@
-// Lazy-constraint (row-generation) wrapper around SimplexSolver.
+// Lazy-constraint (row-generation) wrapper around the LP solvers.
 //
 // Cooperative OEF has n(n-1) envy-freeness rows; at n = 300 tenants that is
 // ~90k constraints, of which only a handful are active at the optimum. The
 // LazyConstraintSolver starts from a relaxed model, asks a caller-provided
 // separation oracle for rows violated by the current optimum, adds them, and
 // re-solves until the oracle is satisfied.
+//
+// Round 1 is a full solve; every later round reoptimises incrementally: the
+// violated rows are appended to the stateful LpSolver via add_rows() and the
+// previous optimal basis is repaired with dual-simplex pivots (resolve())
+// instead of a cold two-phase re-solve. With SolverOptions::algorithm ==
+// LpAlgorithm::kTableau every round degrades to the original cold re-solve,
+// which serves as the reference behaviour.
 #pragma once
 
 #include <functional>
 #include <vector>
 
 #include "solver/lp_model.h"
+#include "solver/lp_solver.h"
 #include "solver/simplex.h"
 
 namespace oef::solver {
@@ -29,18 +37,35 @@ struct LazySolveResult {
   std::size_t rows_added = 0;
   /// True when the final solution satisfies the oracle.
   bool converged = false;
+  /// Rounds >= 2 completed by a warm (dual-simplex) resolve.
+  std::size_t warm_rounds = 0;
+  /// Simplex pivots across all rounds.
+  std::size_t total_iterations = 0;
+  /// Pivots spent in cold solves (round 1 and any warm-path fallbacks).
+  std::size_t cold_iterations = 0;
+  /// Pivots spent in warm resolves.
+  std::size_t warm_iterations = 0;
+  /// Wall-clock seconds spent inside the LP solver (oracle time excluded).
+  double solve_seconds = 0.0;
 };
 
 class LazyConstraintSolver {
  public:
   explicit LazyConstraintSolver(SolverOptions options = {}, std::size_t max_rounds = 200)
-      : solver_(options), max_rounds_(max_rounds) {}
+      : options_(options), max_rounds_(max_rounds) {}
 
-  /// Solves `model` (which is extended in place with the generated rows).
+  /// Solves `model` (which is extended in place with the generated rows)
+  /// using a throwaway solver instance.
   [[nodiscard]] LazySolveResult solve(LpModel& model, const SeparationOracle& oracle) const;
 
+  /// Same, but through a caller-owned persistent solver: the solver keeps its
+  /// basis across calls, so a later session over a same-shaped model (the
+  /// round-over-round case in the simulator) warm-starts too.
+  [[nodiscard]] LazySolveResult solve(LpSolver& solver, LpModel& model,
+                                      const SeparationOracle& oracle) const;
+
  private:
-  SimplexSolver solver_;
+  SolverOptions options_;
   std::size_t max_rounds_;
 };
 

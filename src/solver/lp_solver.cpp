@@ -1,0 +1,811 @@
+#include "solver/lp_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+#include "solver/basis.h"
+#include "solver/standard_form.h"
+
+namespace oef::solver {
+
+void LpSolverStats::merge(const LpSolverStats& other) {
+  cold_solves += other.cold_solves;
+  warm_resolves += other.warm_resolves;
+  warm_start_hits += other.warm_start_hits;
+  tableau_fallbacks += other.tableau_fallbacks;
+  total_iterations += other.total_iterations;
+  solve_seconds += other.solve_seconds;
+}
+
+namespace {
+
+constexpr double kPivotTol = 1e-7;
+constexpr double kFeasTol = 1e-9;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+// Revised-simplex state: standard form (row-major, scaled), Basis, and the
+// current basic solution. One Core corresponds to one loaded model; warm
+// starts copy the Basis from the previous Core into the next.
+class LpSolver::Core {
+ public:
+  void load(const LpModel& model, const SolverOptions& options);
+
+  /// Two-phase cold solve from the all-slack/artificial basis.
+  [[nodiscard]] SolveStatus run_cold(const SolverOptions& options);
+
+  /// Attempts to reoptimise starting from `previous`'s basis. Returns
+  /// kIterationLimit (without consuming iterations) when the basis cannot be
+  /// reused, so the caller falls back to a cold solve.
+  [[nodiscard]] SolveStatus run_warm_from(const Basis& prior, const SolverOptions& options);
+
+  /// Converts a model constraint into a standard-form row against this
+  /// core's column layout (inequalities normalised to <=).
+  [[nodiscard]] internal::StandardRow standard_row(const Constraint& constraint,
+                                                   std::size_t constraint_index) const {
+    return internal::build_standard_row(skel_, constraint, constraint_index,
+                                        /*normalize_rhs=*/false);
+  }
+
+  /// Appends one inequality row (already <=-normalised by build_standard_row)
+  /// with a fresh basic slack. Keeps B^-1 exact.
+  void append_row(const internal::StandardRow& row, const SolverOptions& options);
+
+  /// Dual-simplex reoptimisation from the current basis (after append_row).
+  [[nodiscard]] SolveStatus run_resolve(const SolverOptions& options);
+
+  /// Extracts the solution at the current basis into `out` (values, duals,
+  /// iteration counters). `model` must be the loaded model.
+  void extract(const LpModel& model, LpSolution& out) const;
+
+  [[nodiscard]] bool shape_matches(const Core& other) const;
+  [[nodiscard]] const Basis& basis() const { return basis_; }
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+  [[nodiscard]] std::size_t phase1_iterations() const { return phase1_iterations_; }
+  [[nodiscard]] std::size_t dual_iterations() const { return dual_iterations_; }
+
+ private:
+  void fill_column(std::size_t col, std::vector<double>& out) const;
+  [[nodiscard]] bool refactor();
+  [[nodiscard]] bool refactor_if_due(const SolverOptions& options);
+  void refresh_xb();
+  void rebuild_basis_flags();
+  [[nodiscard]] std::vector<double> basic_costs(bool phase1) const;
+  [[nodiscard]] std::vector<double> reduced_costs(const std::vector<double>& y,
+                                                  bool phase1) const;
+  [[nodiscard]] double phase_objective(bool phase1) const;
+  void apply_pivot(std::size_t leave_row, std::size_t enter_col,
+                   const std::vector<double>& w);
+  [[nodiscard]] SolveStatus run_primal(bool phase1, const SolverOptions& options);
+  [[nodiscard]] SolveStatus run_dual(const SolverOptions& options);
+  void drive_out_artificials();
+  [[nodiscard]] SolveStatus finish_perturbed(const SolverOptions& options);
+
+  // Structural-column metadata (a StandardForm with rows cleared).
+  internal::StandardForm skel_;
+  std::vector<std::vector<double>> rows_;  // m rows over num_cols_ columns
+  std::vector<Relation> relations_;        // normalised, per row
+  std::vector<internal::RowRef> row_refs_;
+  std::vector<double> b_;        // working rhs (scaled, possibly perturbed)
+  std::vector<double> b_exact_;  // exact scaled rhs
+  std::vector<double> row_scale_;
+  std::vector<double> col_scale_;  // structural columns
+  std::vector<double> cost_;       // phase-2 cost per column (scaled, min sense)
+  std::vector<char> artificial_;   // per column
+  std::vector<char> in_basis_;     // per column
+  std::size_t n_struct_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t m_ = 0;
+  bool any_artificial_ = false;
+  bool perturbed_ = false;
+  bool scaling_ = false;
+
+  Basis basis_;
+  std::vector<double> xb_;
+
+  std::size_t max_iterations_ = 0;
+  std::size_t iterations_ = 0;
+  std::size_t phase1_iterations_ = 0;
+  std::size_t dual_iterations_ = 0;
+};
+
+void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
+  internal::StandardForm sf = internal::build_standard_form(model);
+  scaling_ = options.enable_scaling;
+  if (scaling_) {
+    internal::equilibrate(sf, row_scale_, col_scale_);
+  } else {
+    row_scale_.assign(sf.rows.size(), 1.0);
+    col_scale_.assign(sf.columns.size(), 1.0);
+  }
+
+  m_ = sf.rows.size();
+  n_struct_ = sf.columns.size();
+  relations_ = sf.relations;
+  row_refs_ = sf.row_refs;
+  b_ = sf.rhs;
+
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const Relation rel : sf.relations) {
+    if (rel != Relation::kEqual) ++num_slack;
+    if (rel != Relation::kLessEqual) ++num_artificial;
+  }
+  num_cols_ = n_struct_ + num_slack + num_artificial;
+  any_artificial_ = num_artificial > 0;
+
+  rows_.assign(m_, std::vector<double>(num_cols_, 0.0));
+  cost_.assign(num_cols_, 0.0);
+  std::copy(sf.cost.begin(), sf.cost.end(), cost_.begin());
+  artificial_.assign(num_cols_, 0);
+  in_basis_.assign(num_cols_, 0);
+
+  std::vector<std::size_t> initial_basis(m_);
+  std::size_t next_slack = n_struct_;
+  std::size_t next_artificial = n_struct_ + num_slack;
+  for (std::size_t i = 0; i < m_; ++i) {
+    std::copy(sf.rows[i].begin(), sf.rows[i].end(), rows_[i].begin());
+    switch (sf.relations[i]) {
+      case Relation::kLessEqual:
+        rows_[i][next_slack] = 1.0;
+        initial_basis[i] = next_slack;
+        ++next_slack;
+        break;
+      case Relation::kGreaterEqual:
+        rows_[i][next_slack] = -1.0;
+        ++next_slack;
+        rows_[i][next_artificial] = 1.0;
+        initial_basis[i] = next_artificial;
+        ++next_artificial;
+        break;
+      case Relation::kEqual:
+        rows_[i][next_artificial] = 1.0;
+        initial_basis[i] = next_artificial;
+        ++next_artificial;
+        break;
+    }
+  }
+  for (std::size_t j = n_struct_ + num_slack; j < num_cols_; ++j) artificial_[j] = 1;
+
+  // Anti-degeneracy rhs perturbation, mirroring the tableau path but applied
+  // only to <= rows: relaxing them strictly enlarges the feasible region, so
+  // it can neither manufacture infeasibility nor hide it. Equality and >=
+  // rows stay exact. The exact rhs is restored (and the optimum repaired by
+  // dual pivots) in finish_perturbed().
+  b_exact_ = b_;
+  std::uint64_t mix = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < m_; ++i) {
+    mix ^= mix << 13;
+    mix ^= mix >> 7;
+    mix ^= mix << 17;
+    if (relations_[i] != Relation::kLessEqual) continue;
+    const double frac = 0.5 + 0.5 * static_cast<double>(mix >> 11) * 0x1.0p-53;
+    b_[i] += 1e-7 * (1.0 + b_[i]) * frac;
+    perturbed_ = true;
+  }
+
+  // Keep the structural metadata for incremental rows; drop the bulky parts.
+  skel_ = std::move(sf);
+  skel_.rows.clear();
+  skel_.rhs.clear();
+  skel_.relations.clear();
+  skel_.row_refs.clear();
+
+  basis_.set_basic(std::move(initial_basis));
+  for (const std::size_t j : basis_.basic()) in_basis_[j] = 1;
+  xb_ = b_;
+
+  max_iterations_ = options.max_iterations != 0 ? options.max_iterations
+                                                : 200 * (m_ + num_cols_) + 10000;
+  iterations_ = phase1_iterations_ = dual_iterations_ = 0;
+}
+
+void LpSolver::Core::fill_column(std::size_t col, std::vector<double>& out) const {
+  out.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i) out[i] = rows_[i][col];
+}
+
+bool LpSolver::Core::refactor() {
+  return basis_.refactor(
+      [this](std::size_t col, std::vector<double>& out) { fill_column(col, out); });
+}
+
+bool LpSolver::Core::refactor_if_due(const SolverOptions& options) {
+  if (basis_.pivots_since_refactor() < std::max<std::size_t>(1, options.refactor_interval)) {
+    return true;
+  }
+  if (!refactor()) return false;
+  refresh_xb();
+  return true;
+}
+
+void LpSolver::Core::refresh_xb() { xb_ = basis_.ftran(b_); }
+
+void LpSolver::Core::rebuild_basis_flags() {
+  std::fill(in_basis_.begin(), in_basis_.end(), 0);
+  for (const std::size_t j : basis_.basic()) in_basis_[j] = 1;
+}
+
+std::vector<double> LpSolver::Core::basic_costs(bool phase1) const {
+  std::vector<double> cb(m_, 0.0);
+  const auto& basic = basis_.basic();
+  for (std::size_t i = 0; i < m_; ++i) {
+    cb[i] = phase1 ? (artificial_[basic[i]] ? 1.0 : 0.0) : cost_[basic[i]];
+  }
+  return cb;
+}
+
+std::vector<double> LpSolver::Core::reduced_costs(const std::vector<double>& y,
+                                                  bool phase1) const {
+  std::vector<double> d(num_cols_, 0.0);
+  if (phase1) {
+    for (std::size_t j = 0; j < num_cols_; ++j) d[j] = artificial_[j] ? 1.0 : 0.0;
+  } else {
+    d = cost_;
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double yi = y[i];
+    if (yi == 0.0) continue;
+    const std::vector<double>& row = rows_[i];
+    for (std::size_t j = 0; j < num_cols_; ++j) d[j] -= yi * row[j];
+  }
+  return d;
+}
+
+double LpSolver::Core::phase_objective(bool phase1) const {
+  const std::vector<double> cb = basic_costs(phase1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) acc += cb[i] * xb_[i];
+  return acc;
+}
+
+void LpSolver::Core::apply_pivot(std::size_t leave_row, std::size_t enter_col,
+                                 const std::vector<double>& w) {
+  const double t = std::max(0.0, xb_[leave_row]) / w[leave_row];
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i != leave_row) xb_[i] -= t * w[i];
+  }
+  xb_[leave_row] = t;
+  in_basis_[basis_.basic()[leave_row]] = 0;
+  in_basis_[enter_col] = 1;
+  basis_.pivot(leave_row, enter_col, w);
+}
+
+SolveStatus LpSolver::Core::run_primal(bool phase1, const SolverOptions& options) {
+  const double tol = options.tolerance;
+  std::size_t stall = 0;
+  bool bland = false;
+  double last_objective = phase_objective(phase1);
+  std::vector<double> col(m_);
+  while (true) {
+    if (iterations_ >= max_iterations_) return SolveStatus::kIterationLimit;
+    if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
+
+    const std::vector<double> y = basis_.btran(basic_costs(phase1));
+    const std::vector<double> d = reduced_costs(y, phase1);
+
+    // Entering column: Dantzig (most negative), Bland (first negative) when
+    // stalling. Artificials may re-enter only in phase 1.
+    std::size_t enter = SIZE_MAX;
+    double best = -tol;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (in_basis_[j]) continue;
+      if (!phase1 && artificial_[j]) continue;
+      if (d[j] < best) {
+        best = d[j];
+        enter = j;
+        if (bland) break;
+      }
+    }
+    if (enter == SIZE_MAX) return SolveStatus::kOptimal;
+
+    fill_column(enter, col);
+    const std::vector<double> w = basis_.ftran(col);
+
+    // Ratio test, mirroring the tableau: near-ties broken by pivot magnitude
+    // (stability) or smallest basic index (Bland, termination); loose-
+    // tolerance fallback before declaring unboundedness.
+    std::size_t leave = SIZE_MAX;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    double best_pivot = 0.0;
+    const auto& basic = basis_.basic();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double a = w[i];
+      if (a <= kPivotTol) continue;
+      const double ratio = std::max(0.0, xb_[i]) / a;
+      const double tie_band = 1e-9 * (1.0 + ratio);
+      if (leave == SIZE_MAX || ratio < best_ratio - tie_band) {
+        best_ratio = ratio;
+        leave = i;
+        best_pivot = a;
+      } else if (ratio < best_ratio + tie_band) {
+        if (bland ? basic[i] < basic[leave] : a > best_pivot) {
+          best_ratio = std::min(best_ratio, ratio);
+          leave = i;
+          best_pivot = a;
+        }
+      }
+    }
+    if (leave == SIZE_MAX) {
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double a = w[i];
+        if (a <= tol) continue;
+        const double ratio = std::max(0.0, xb_[i]) / a;
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == SIZE_MAX) {
+      return phase1 ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
+    }
+
+    apply_pivot(leave, enter, w);
+    ++iterations_;
+    if (phase1) ++phase1_iterations_;
+
+    const double objective = phase_objective(phase1);
+    if (objective >= last_objective - tol) {
+      if (++stall >= options.stall_limit) bland = true;
+    } else {
+      stall = 0;
+      bland = false;
+    }
+    last_objective = objective;
+  }
+}
+
+SolveStatus LpSolver::Core::run_dual(const SolverOptions& options) {
+  const double tol = options.tolerance;
+  std::size_t stall = 0;
+  bool bland = false;
+  double last_infeasibility = std::numeric_limits<double>::infinity();
+  std::vector<double> col(m_);
+  while (true) {
+    if (iterations_ >= max_iterations_) return SolveStatus::kIterationLimit;
+    if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
+
+    // Leaving row: most negative basic value (Bland: first negative). The
+    // infeasibility sum always covers every row — it feeds the stall
+    // detector, which must not flap just because Bland picked an early row.
+    std::size_t leave = SIZE_MAX;
+    std::size_t first_negative = SIZE_MAX;
+    double most_negative = -kFeasTol;
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (xb_[i] < -kFeasTol) {
+        infeasibility -= xb_[i];
+        if (first_negative == SIZE_MAX) first_negative = i;
+      }
+      if (xb_[i] < most_negative) {
+        most_negative = xb_[i];
+        leave = i;
+      }
+    }
+    if (bland) leave = first_negative;
+    if (leave == SIZE_MAX) return SolveStatus::kOptimal;
+
+    const std::vector<double> y = basis_.btran(basic_costs(/*phase1=*/false));
+    const std::vector<double> d = reduced_costs(y, /*phase1=*/false);
+
+    // alpha = (row `leave` of B^-1) * A, per column.
+    const std::vector<double>& rho = basis_.row(leave);
+    std::vector<double> alpha(num_cols_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double r = rho[i];
+      if (r == 0.0) continue;
+      const std::vector<double>& row = rows_[i];
+      for (std::size_t j = 0; j < num_cols_; ++j) alpha[j] += r * row[j];
+    }
+
+    // Dual ratio test over eligible columns (alpha < 0): the entering column
+    // minimises d_j / -alpha_j, keeping reduced costs non-negative. Ties are
+    // broken by pivot magnitude, or smallest index under Bland.
+    const auto pick_entering = [&](double pivot_tol) {
+      std::size_t enter = SIZE_MAX;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      double best_pivot = 0.0;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (in_basis_[j] || artificial_[j]) continue;
+        const double a = alpha[j];
+        if (a >= -pivot_tol) continue;
+        const double ratio = std::max(0.0, d[j]) / -a;
+        const double tie_band = 1e-9 * (1.0 + ratio);
+        if (enter == SIZE_MAX || ratio < best_ratio - tie_band) {
+          best_ratio = ratio;
+          enter = j;
+          best_pivot = -a;
+        } else if (ratio < best_ratio + tie_band) {
+          if (bland ? j < enter : -a > best_pivot) {
+            best_ratio = std::min(best_ratio, ratio);
+            enter = j;
+            best_pivot = -a;
+          }
+        }
+      }
+      return enter;
+    };
+    std::size_t enter = pick_entering(kPivotTol);
+    if (enter == SIZE_MAX) enter = pick_entering(tol);
+    if (enter == SIZE_MAX) return SolveStatus::kInfeasible;
+
+    fill_column(enter, col);
+    const std::vector<double> w = basis_.ftran(col);
+    if (std::abs(w[leave]) < tol) {
+      // Numerical disagreement between alpha and the ftran column; refactor
+      // and retry, giving up if it persists.
+      if (!refactor()) return SolveStatus::kIterationLimit;
+      refresh_xb();
+      if (++stall >= options.stall_limit) return SolveStatus::kIterationLimit;
+      continue;
+    }
+
+    const double t = xb_[leave] / w[leave];
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i != leave) xb_[i] -= t * w[i];
+    }
+    xb_[leave] = t;
+    in_basis_[basis_.basic()[leave]] = 0;
+    in_basis_[enter] = 1;
+    basis_.pivot(leave, enter, w);
+    ++iterations_;
+    ++dual_iterations_;
+
+    if (infeasibility >= last_infeasibility - tol) {
+      if (++stall >= options.stall_limit) bland = true;
+    } else {
+      stall = 0;
+      bland = false;
+    }
+    last_infeasibility = infeasibility;
+  }
+}
+
+void LpSolver::Core::drive_out_artificials() {
+  const auto& basic = basis_.basic();
+  std::vector<double> col(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (!artificial_[basic[i]]) continue;
+    const std::vector<double>& rho = basis_.row(i);
+    // alpha_j = rho * A_j over non-artificial columns; pick the largest.
+    std::size_t enter = SIZE_MAX;
+    double best = 1e-8;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (in_basis_[j] || artificial_[j]) continue;
+      double alpha = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (rho[r] != 0.0) alpha += rho[r] * rows_[r][j];
+      }
+      if (std::abs(alpha) > best) {
+        best = std::abs(alpha);
+        enter = j;
+      }
+    }
+    if (enter == SIZE_MAX) continue;  // redundant row; artificial stays ~0
+    fill_column(enter, col);
+    const std::vector<double> w = basis_.ftran(col);
+    if (std::abs(w[i]) < 1e-10) continue;
+    const double t = xb_[i] / w[i];
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r != i) xb_[r] -= t * w[r];
+    }
+    xb_[i] = t;
+    in_basis_[basis_.basic()[i]] = 0;
+    in_basis_[enter] = 1;
+    basis_.pivot(i, enter, w);
+  }
+}
+
+SolveStatus LpSolver::Core::finish_perturbed(const SolverOptions& options) {
+  if (!perturbed_) return SolveStatus::kOptimal;
+  b_ = b_exact_;
+  perturbed_ = false;
+  if (!refactor()) return SolveStatus::kIterationLimit;
+  refresh_xb();
+  bool feasible = true;
+  for (const double v : xb_) {
+    if (v < -kFeasTol) feasible = false;
+  }
+  if (feasible) return SolveStatus::kOptimal;
+  // Restoring the exact rhs tightened the relaxed <= rows: the basis stays
+  // dual-feasible, so a few dual pivots repair primal feasibility.
+  return run_dual(options);
+}
+
+SolveStatus LpSolver::Core::run_cold(const SolverOptions& options) {
+  if (m_ == 0) {
+    // No constraints: y = 0 is optimal unless some column improves forever.
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (cost_[j] < -options.tolerance) return SolveStatus::kUnbounded;
+    }
+    return SolveStatus::kOptimal;
+  }
+  if (any_artificial_) {
+    const SolveStatus phase1 = run_primal(/*phase1=*/true, options);
+    if (phase1 != SolveStatus::kOptimal) return phase1;
+    if (phase_objective(/*phase1=*/true) > 1e-6) return SolveStatus::kInfeasible;
+    drive_out_artificials();
+  }
+  const SolveStatus phase2 = run_primal(/*phase1=*/false, options);
+  if (phase2 != SolveStatus::kOptimal) return phase2;
+  return finish_perturbed(options);
+}
+
+SolveStatus LpSolver::Core::run_warm_from(const Basis& prior, const SolverOptions& options) {
+  basis_ = prior;
+  rebuild_basis_flags();
+  // The perturbation exists to help cold starts through degenerate phase-1
+  // vertices; a warm start lands near the optimum, so reoptimise exactly.
+  b_ = b_exact_;
+  perturbed_ = false;
+  if (!refactor()) return SolveStatus::kIterationLimit;
+  refresh_xb();
+
+  bool primal_feasible = true;
+  for (const double v : xb_) {
+    if (v < -kFeasTol) primal_feasible = false;
+  }
+  if (primal_feasible) return run_primal(/*phase1=*/false, options);
+
+  const std::vector<double> y = basis_.btran(basic_costs(/*phase1=*/false));
+  const std::vector<double> d = reduced_costs(y, /*phase1=*/false);
+  bool dual_feasible = true;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (in_basis_[j] || artificial_[j]) continue;
+    if (d[j] < -1e-7) dual_feasible = false;
+  }
+  if (!dual_feasible) return SolveStatus::kIterationLimit;  // neither: cold start
+  const SolveStatus status = run_dual(options);
+  if (status != SolveStatus::kOptimal) return status;
+  // Dual pivots restored primal feasibility; polish any remaining reduced
+  // costs (coefficient changes can leave the vertex slightly suboptimal).
+  return run_primal(/*phase1=*/false, options);
+}
+
+void LpSolver::Core::append_row(const internal::StandardRow& row,
+                                const SolverOptions& options) {
+  OEF_CHECK(row.relation == Relation::kLessEqual);
+  std::vector<double> coeffs(num_cols_ + 1, 0.0);
+  double biggest = 0.0;
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    coeffs[j] = row.coeffs[j] * col_scale_[j];
+    biggest = std::max(biggest, std::abs(coeffs[j]));
+  }
+  const double rscale = (scaling_ && biggest > 0.0) ? 1.0 / biggest : 1.0;
+  for (std::size_t j = 0; j < n_struct_; ++j) coeffs[j] *= rscale;
+  const double rhs = row.rhs * rscale;
+
+  // New slack column, basic in the new row.
+  const std::size_t slack_col = num_cols_;
+  coeffs[slack_col] = 1.0;
+  for (auto& r : rows_) r.push_back(0.0);
+  cost_.push_back(0.0);
+  artificial_.push_back(0);
+  in_basis_.push_back(1);
+  ++num_cols_;
+
+  std::vector<double> row_basic(m_, 0.0);
+  const auto& basic = basis_.basic();
+  for (std::size_t i = 0; i < m_; ++i) row_basic[i] = coeffs[basic[i]];
+  basis_.append_row(row_basic, slack_col);
+
+  rows_.push_back(std::move(coeffs));
+  relations_.push_back(Relation::kLessEqual);
+  row_refs_.push_back(row.ref);
+  b_.push_back(rhs);
+  b_exact_.push_back(rhs);
+  row_scale_.push_back(rscale);
+  xb_.push_back(0.0);  // refreshed in run_resolve
+  ++m_;
+  max_iterations_ = options.max_iterations != 0 ? options.max_iterations
+                                                : 200 * (m_ + num_cols_) + 10000;
+}
+
+SolveStatus LpSolver::Core::run_resolve(const SolverOptions& options) {
+  iterations_ = phase1_iterations_ = dual_iterations_ = 0;
+  if (!refactor()) return SolveStatus::kIterationLimit;
+  refresh_xb();
+  const SolveStatus status = run_dual(options);
+  if (status != SolveStatus::kOptimal) return status;
+  // The previous optimum was dual-feasible, so dual pivots suffice; a final
+  // primal pass guards against tolerance drift re-opening reduced costs.
+  return run_primal(/*phase1=*/false, options);
+}
+
+void LpSolver::Core::extract(const LpModel& model, LpSolution& out) const {
+  std::vector<double> column_values(num_cols_, 0.0);
+  const auto& basic = basis_.basic();
+  for (std::size_t i = 0; i < m_; ++i) {
+    column_values[basic[i]] = std::max(0.0, xb_[i]);
+  }
+
+  out.values.assign(model.num_variables(), 0.0);
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    const double y = column_values[j] * col_scale_[j];
+    out.values[skel_.columns[j].var] += skel_.columns[j].sign * y;
+  }
+  for (std::size_t v = 0; v < model.num_variables(); ++v) {
+    out.values[v] += skel_.var_shift[v];
+  }
+  out.objective = model.objective_value(out.values);
+
+  const std::vector<double> y = basis_.btran(basic_costs(/*phase1=*/false));
+  out.duals.assign(model.num_constraints(), 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const internal::RowRef& ref = row_refs_[i];
+    if (ref.constraint == SIZE_MAX) continue;  // synthetic upper-bound row
+    out.duals[ref.constraint] = skel_.sense_sign * ref.sign * y[i] * row_scale_[i];
+  }
+
+  out.iterations = iterations_;
+  out.phase1_iterations = phase1_iterations_;
+  out.dual_iterations = dual_iterations_;
+}
+
+bool LpSolver::Core::shape_matches(const Core& other) const {
+  return m_ == other.m_ && num_cols_ == other.num_cols_ &&
+         n_struct_ == other.n_struct_ && relations_ == other.relations_ &&
+         skel_.columns.size() == other.skel_.columns.size();
+}
+
+// ---------------------------------------------------------------------------
+// LpSolver
+// ---------------------------------------------------------------------------
+
+LpSolver::LpSolver(SolverOptions options) : options_(options) {}
+LpSolver::~LpSolver() = default;
+LpSolver::LpSolver(LpSolver&&) noexcept = default;
+LpSolver& LpSolver::operator=(LpSolver&&) noexcept = default;
+
+LpSolver::LpSolver(const LpSolver& other)
+    : options_(other.options_),
+      model_(other.model_),
+      core_(other.core_ ? std::make_unique<Core>(*other.core_) : nullptr),
+      stats_(other.stats_),
+      incremental_ok_(other.incremental_ok_) {}
+
+LpSolver& LpSolver::operator=(const LpSolver& other) {
+  if (this != &other) {
+    options_ = other.options_;
+    model_ = other.model_;
+    core_ = other.core_ ? std::make_unique<Core>(*other.core_) : nullptr;
+    stats_ = other.stats_;
+    incremental_ok_ = other.incremental_ok_;
+  }
+  return *this;
+}
+
+bool LpSolver::has_basis() const { return core_ != nullptr && incremental_ok_; }
+
+LpSolution LpSolver::solve_loaded_cold() {
+  LpSolution solution;
+  auto core = std::make_unique<Core>();
+  core->load(model_, options_);
+  solution.status = core->run_cold(options_);
+  ++stats_.cold_solves;
+  stats_.total_iterations += core->iterations();
+  if (solution.status == SolveStatus::kOptimal) {
+    core->extract(model_, solution);
+    if (model_.is_feasible(solution.values, 1e-6)) {
+      core_ = std::move(core);
+      incremental_ok_ = true;
+      return solution;
+    }
+  }
+  // Revised path failed or produced an unverifiable point: reference tableau.
+  ++stats_.tableau_fallbacks;
+  core_.reset();
+  incremental_ok_ = false;
+  solution = SimplexSolver(options_).solve(model_);
+  stats_.total_iterations += solution.iterations;
+  return solution;
+}
+
+LpSolution LpSolver::solve(const LpModel& model) {
+  const auto start = Clock::now();
+  std::unique_ptr<Core> previous = std::move(core_);
+  const bool had_basis = previous != nullptr && incremental_ok_;
+  model_ = model;
+  core_.reset();
+  incremental_ok_ = false;
+
+  if (options_.algorithm == LpAlgorithm::kTableau) {
+    LpSolution solution = SimplexSolver(options_).solve(model_);
+    ++stats_.cold_solves;
+    stats_.total_iterations += solution.iterations;
+    stats_.solve_seconds += seconds_since(start);
+    return solution;
+  }
+
+  if (options_.warm_start && had_basis) {
+    auto core = std::make_unique<Core>();
+    core->load(model_, options_);
+    if (core->shape_matches(*previous)) {
+      LpSolution solution;
+      solution.status = core->run_warm_from(previous->basis(), options_);
+      stats_.total_iterations += core->iterations();
+      if (solution.status == SolveStatus::kOptimal) {
+        core->extract(model_, solution);
+        if (model_.is_feasible(solution.values, 1e-6)) {
+          solution.warm_started = true;
+          ++stats_.warm_start_hits;
+          core_ = std::move(core);
+          incremental_ok_ = true;
+          stats_.solve_seconds += seconds_since(start);
+          return solution;
+        }
+      }
+      // Warm attempt failed; fall through to a cold solve.
+    }
+  }
+
+  LpSolution solution = solve_loaded_cold();
+  stats_.solve_seconds += seconds_since(start);
+  return solution;
+}
+
+std::size_t LpSolver::add_rows(const std::vector<Constraint>& rows) {
+  std::size_t accepted = 0;
+  for (const Constraint& constraint : rows) {
+    const std::size_t index = model_.add_constraint(constraint);
+    ++accepted;
+    if (options_.algorithm == LpAlgorithm::kTableau) continue;
+    if (!core_ || !incremental_ok_) continue;
+    if (constraint.relation == Relation::kEqual) {
+      // Equality rows are not dual-warm-startable from a slack basis; degrade
+      // this resolve to a cold solve of the extended model.
+      incremental_ok_ = false;
+      continue;
+    }
+    core_->append_row(core_->standard_row(constraint, index), options_);
+  }
+  return accepted;
+}
+
+LpSolution LpSolver::resolve() {
+  const auto start = Clock::now();
+  if (options_.algorithm == LpAlgorithm::kTableau || !core_ || !incremental_ok_) {
+    LpSolution solution;
+    if (options_.algorithm == LpAlgorithm::kTableau) {
+      solution = SimplexSolver(options_).solve(model_);
+      ++stats_.cold_solves;
+      stats_.total_iterations += solution.iterations;
+    } else {
+      solution = solve_loaded_cold();
+    }
+    stats_.solve_seconds += seconds_since(start);
+    return solution;
+  }
+
+  LpSolution solution;
+  solution.status = core_->run_resolve(options_);
+  stats_.total_iterations += core_->iterations();
+  if (solution.status == SolveStatus::kOptimal) {
+    core_->extract(model_, solution);
+    if (model_.is_feasible(solution.values, 1e-6)) {
+      solution.warm_started = true;
+      ++stats_.warm_resolves;
+      stats_.solve_seconds += seconds_since(start);
+      return solution;
+    }
+  }
+  // Warm resolve failed (numerics, iteration limit, or claimed infeasible —
+  // which a tightened relaxation can legitimately be, but is cheap to
+  // confirm): cold-solve the extended model.
+  solution = solve_loaded_cold();
+  stats_.solve_seconds += seconds_since(start);
+  return solution;
+}
+
+}  // namespace oef::solver

@@ -1,0 +1,100 @@
+// Stateful LP solver with an incremental-resolve API.
+//
+// Where SimplexSolver is a single-shot full-tableau solve, LpSolver keeps the
+// standard form, the Basis (dense B^-1) and the last optimal vertex alive
+// between calls, which enables two kinds of warm start:
+//
+//   * add_rows() + resolve(): newly separated constraints (the lazy
+//     envy-freeness rows of cooperative OEF) are appended to the loaded
+//     problem and reoptimised with the dual simplex from the previous optimal
+//     basis — the previous optimum stays dual-feasible, so typically a
+//     handful of pivots replace a full two-phase re-solve.
+//   * solve() basis reuse: when a new model has exactly the same shape as the
+//     previously solved one (same variables, rows and relations — the
+//     round-over-round case in the simulator, where only coefficients move),
+//     the previous basis is refactorised against the new coefficients and
+//     reoptimised with primal or dual pivots instead of starting cold.
+//
+// The engine is a revised simplex (explicit dense basis inverse, see
+// basis.h). SolverOptions::algorithm == LpAlgorithm::kTableau degrades every
+// call to the reference full-tableau SimplexSolver (no warm starts), and the
+// revised path falls back to the tableau automatically whenever it fails to
+// reach a verified optimum; stats().tableau_fallbacks counts those.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "solver/lp_model.h"
+#include "solver/simplex.h"
+
+namespace oef::solver {
+
+/// Cumulative counters across the lifetime of one LpSolver.
+struct LpSolverStats {
+  /// Two-phase solves from scratch (including fallbacks inside warm calls).
+  std::size_t cold_solves = 0;
+  /// add_rows() + resolve() calls completed by warm dual-simplex pivots.
+  std::size_t warm_resolves = 0;
+  /// solve() calls completed by reusing the previous basis.
+  std::size_t warm_start_hits = 0;
+  /// Revised-path failures answered by the reference tableau solver.
+  std::size_t tableau_fallbacks = 0;
+  /// Simplex pivots across all calls (primal + dual, all phases).
+  std::size_t total_iterations = 0;
+  /// Wall-clock seconds spent inside solve()/resolve().
+  double solve_seconds = 0.0;
+
+  void merge(const LpSolverStats& other);
+};
+
+class LpSolver {
+ public:
+  explicit LpSolver(SolverOptions options = {});
+  ~LpSolver();
+  LpSolver(const LpSolver& other);
+  LpSolver& operator=(const LpSolver& other);
+  LpSolver(LpSolver&&) noexcept;
+  LpSolver& operator=(LpSolver&&) noexcept;
+
+  /// Loads `model` (copied) and solves it. Reuses the previous optimal basis
+  /// when the shape matches (see header comment); otherwise solves cold.
+  [[nodiscard]] LpSolution solve(const LpModel& model);
+
+  /// Appends constraints to the loaded model. Only valid after a solve().
+  /// Returns the number of rows accepted. Inequality rows are staged for
+  /// dual-simplex reoptimisation; an equality row (or tableau mode) degrades
+  /// the next resolve() to a cold solve of the extended model.
+  std::size_t add_rows(const std::vector<Constraint>& rows);
+
+  /// Reoptimises after add_rows(): dual simplex from the previous optimal
+  /// basis when possible, cold solve of the extended model otherwise. The
+  /// returned solution has warm_started == true iff the warm path succeeded.
+  [[nodiscard]] LpSolution resolve();
+
+  /// True when a previous solve left an optimal basis to warm-start from.
+  [[nodiscard]] bool has_basis() const;
+
+  /// The currently loaded model, including rows appended via add_rows().
+  [[nodiscard]] const LpModel& model() const { return model_; }
+
+  [[nodiscard]] const SolverOptions& options() const { return options_; }
+  [[nodiscard]] const LpSolverStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  class Core;
+
+  /// Cold-solves the currently loaded model_ (revised first, tableau
+  /// fallback), updating stats. Does not attempt any warm start.
+  [[nodiscard]] LpSolution solve_loaded_cold();
+
+  SolverOptions options_;
+  LpModel model_;
+  std::unique_ptr<Core> core_;
+  LpSolverStats stats_;
+  bool incremental_ok_ = false;
+};
+
+}  // namespace oef::solver

@@ -5,8 +5,14 @@
 #include <limits>
 
 #include "common/check.h"
+#include "solver/standard_form.h"
 
 namespace oef::solver {
+
+using internal::RowRef;
+using internal::StandardForm;
+using internal::build_standard_form;
+using internal::equilibrate;
 
 std::string to_string(SolveStatus status) {
   switch (status) {
@@ -19,121 +25,6 @@ std::string to_string(SolveStatus status) {
 }
 
 namespace {
-
-// How a standard-form column maps back onto a model variable:
-// model_value[var] += sign * column_value  (+ a per-variable shift applied once).
-struct ColumnRef {
-  std::size_t var = 0;
-  double sign = 1.0;
-};
-
-// Origin of a standard-form row, used to map duals back to model constraints.
-struct RowRef {
-  // Index of the model constraint, or npos for synthetic upper-bound rows.
-  std::size_t constraint = SIZE_MAX;
-  // -1 when the row was negated to make the rhs non-negative.
-  double sign = 1.0;
-};
-
-// min c'y  s.t.  A y (<=|>=|=) b,  y >= 0, with bookkeeping to undo the
-// variable transformations afterwards.
-struct StandardForm {
-  std::vector<ColumnRef> columns;
-  std::vector<double> var_shift;          // per model variable
-  std::vector<std::vector<double>> rows;  // dense coefficient rows
-  std::vector<Relation> relations;
-  std::vector<double> rhs;
-  std::vector<RowRef> row_refs;
-  std::vector<double> cost;  // per column, minimisation sense
-  double sense_sign = 1.0;   // +1 if the model minimises, -1 if it maximises
-};
-
-StandardForm build_standard_form(const LpModel& model) {
-  StandardForm sf;
-  const auto& vars = model.variables();
-  sf.var_shift.assign(vars.size(), 0.0);
-  sf.sense_sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
-
-  // Column layout per variable; upper bounds become extra rows afterwards.
-  std::vector<std::vector<std::size_t>> cols_of_var(vars.size());
-  struct UpperRow {
-    std::size_t var;
-    double bound;  // in model space
-  };
-  std::vector<UpperRow> upper_rows;
-
-  for (std::size_t v = 0; v < vars.size(); ++v) {
-    const Variable& var = vars[v];
-    const bool lower_finite = std::isfinite(var.lower);
-    const bool upper_finite = std::isfinite(var.upper);
-    if (lower_finite) {
-      // x = y + lower, y >= 0.
-      sf.var_shift[v] = var.lower;
-      sf.columns.push_back({v, 1.0});
-      cols_of_var[v].push_back(sf.columns.size() - 1);
-      if (upper_finite) upper_rows.push_back({v, var.upper});
-    } else if (upper_finite) {
-      // x = upper - y, y >= 0.
-      sf.var_shift[v] = var.upper;
-      sf.columns.push_back({v, -1.0});
-      cols_of_var[v].push_back(sf.columns.size() - 1);
-    } else {
-      // Free: x = y+ - y-.
-      sf.columns.push_back({v, 1.0});
-      cols_of_var[v].push_back(sf.columns.size() - 1);
-      sf.columns.push_back({v, -1.0});
-      cols_of_var[v].push_back(sf.columns.size() - 1);
-    }
-  }
-
-  const std::size_t n = sf.columns.size();
-  sf.cost.assign(n, 0.0);
-  for (std::size_t v = 0; v < vars.size(); ++v) {
-    const double c = sf.sense_sign * vars[v].objective;
-    for (const std::size_t col : cols_of_var[v]) sf.cost[col] += c * sf.columns[col].sign;
-  }
-
-  const auto add_row = [&](const LinearExpr& expr, Relation rel, double rhs, RowRef ref) {
-    std::vector<double> row(n, 0.0);
-    double shift_total = 0.0;
-    for (const auto& [var, coeff] : expr.terms()) {
-      shift_total += coeff * sf.var_shift[var];
-      for (const std::size_t col : cols_of_var[var]) {
-        row[col] += coeff * sf.columns[col].sign;
-      }
-    }
-    double b = rhs - shift_total;
-    // Zero-rhs >= rows are flipped into <= form: they then start on a slack
-    // basis (no artificial) and can be relaxed by the anti-degeneracy
-    // perturbation without ever shrinking the feasible region.
-    if (b < 0.0 || (b == 0.0 && rel == Relation::kGreaterEqual)) {
-      for (double& a : row) a = -a;
-      b = -b;
-      ref.sign = -ref.sign;
-      if (rel == Relation::kLessEqual) {
-        rel = Relation::kGreaterEqual;
-      } else if (rel == Relation::kGreaterEqual) {
-        rel = Relation::kLessEqual;
-      }
-    }
-    sf.rows.push_back(std::move(row));
-    sf.relations.push_back(rel);
-    sf.rhs.push_back(b);
-    sf.row_refs.push_back(ref);
-  };
-
-  const auto& constraints = model.constraints();
-  for (std::size_t c = 0; c < constraints.size(); ++c) {
-    add_row(constraints[c].expr, constraints[c].relation, constraints[c].rhs,
-            RowRef{c, 1.0});
-  }
-  for (const auto& [var, bound] : upper_rows) {
-    LinearExpr expr;
-    expr.add(var, 1.0);
-    add_row(expr, Relation::kLessEqual, bound, RowRef{SIZE_MAX, 1.0});
-  }
-  return sf;
-}
 
 // Full-tableau two-phase simplex with periodic basis refactorisation: the
 // original standard-form data is retained so the tableau can be recomputed
@@ -359,12 +250,12 @@ class Tableau {
       const double a = rows_[i][col];
       if (a <= kPivotTol) continue;
       const double ratio = std::max(0.0, rows_[i][width_ - 1]) / a;
-      const double tie_band = 1e-9 * (1.0 + std::abs(best_ratio));
-      if (ratio < best_ratio - tie_band) {
+      const double tie_band = 1e-9 * (1.0 + ratio);
+      if (best_row == SIZE_MAX || ratio < best_ratio - tie_band) {
         best_ratio = ratio;
         best_row = i;
         best_pivot = a;
-      } else if (ratio < best_ratio + tie_band && best_row != SIZE_MAX) {
+      } else if (ratio < best_ratio + tie_band) {
         if (bland ? basis_[i] < basis_[best_row] : a > best_pivot) {
           best_ratio = std::min(best_ratio, ratio);
           best_row = i;
@@ -509,30 +400,6 @@ class Tableau {
   std::vector<std::size_t> basis_;
   std::vector<std::size_t> unit_col_;
 };
-
-// Max-equilibration: rows then columns are scaled by the reciprocal of their
-// largest absolute coefficient.
-void equilibrate(StandardForm& sf, std::vector<double>& row_scale,
-                 std::vector<double>& col_scale) {
-  const std::size_t m = sf.rows.size();
-  const std::size_t n = sf.cost.size();
-  row_scale.assign(m, 1.0);
-  col_scale.assign(n, 1.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    double biggest = 0.0;
-    for (const double a : sf.rows[i]) biggest = std::max(biggest, std::abs(a));
-    if (biggest > 0.0) row_scale[i] = 1.0 / biggest;
-    for (double& a : sf.rows[i]) a *= row_scale[i];
-    sf.rhs[i] *= row_scale[i];
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    double biggest = 0.0;
-    for (std::size_t i = 0; i < m; ++i) biggest = std::max(biggest, std::abs(sf.rows[i][j]));
-    if (biggest > 0.0) col_scale[j] = 1.0 / biggest;
-    for (std::size_t i = 0; i < m; ++i) sf.rows[i][j] *= col_scale[j];
-    sf.cost[j] *= col_scale[j];
-  }
-}
 
 }  // namespace
 

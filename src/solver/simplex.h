@@ -22,6 +22,11 @@ enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 [[nodiscard]] std::string to_string(SolveStatus status);
 
+/// Which pivoting engine an LpSolver runs. The revised path supports warm
+/// starts (basis reuse across solves, add_rows + dual-simplex resolve); the
+/// tableau path is the battle-tested single-shot reference.
+enum class LpAlgorithm { kRevised, kTableau };
+
 struct SolverOptions {
   /// Feasibility / pricing tolerance.
   double tolerance = 1e-9;
@@ -31,6 +36,13 @@ struct SolverOptions {
   std::size_t stall_limit = 128;
   /// Row/column max-equilibration before solving.
   bool enable_scaling = true;
+  /// Engine selection for LpSolver (SimplexSolver is always the tableau).
+  LpAlgorithm algorithm = LpAlgorithm::kRevised;
+  /// Allow LpSolver::solve to reuse the previous optimal basis when the new
+  /// model has the same shape (rows, columns, relations) as the last one.
+  bool warm_start = true;
+  /// Revised simplex: pivots between full basis refactorisations.
+  std::size_t refactor_interval = 64;
 };
 
 struct LpSolution {
@@ -44,6 +56,12 @@ struct LpSolution {
   std::vector<double> duals;
   std::size_t iterations = 0;
   std::size_t phase1_iterations = 0;
+  /// Pivots spent in dual-simplex reoptimisation (warm resolves only).
+  std::size_t dual_iterations = 0;
+  /// True when this solution was reached from a prior basis (either a
+  /// dual-simplex resolve after add_rows, or basis reuse across solve calls)
+  /// instead of a cold two-phase solve.
+  bool warm_started = false;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -1,0 +1,75 @@
+// Conversion of an LpModel into computational standard form.
+//
+// Both simplex engines (the full-tableau reference in simplex.cpp and the
+// revised-simplex LpSolver in lp_solver.cpp) operate on the same standard
+// form:  min c'y  s.t.  A y (<=|>=|=) b,  y >= 0,  with bookkeeping to undo
+// the variable transformations afterwards:
+//   * finite lower bounds are shifted away (x = y + lower),
+//   * upper-bound-only variables are reflected (x = upper - y),
+//   * two-sided bounds become an extra <= row,
+//   * free variables are split (x = y+ - y-),
+//   * rows with negative rhs (and zero-rhs >= rows) are negated so every
+//     right-hand side is non-negative and zero-rhs rows start on a slack
+//     basis.
+// This header is internal to src/solver; consumers use LpModel + a solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/lp_model.h"
+
+namespace oef::solver::internal {
+
+// How a standard-form column maps back onto a model variable:
+// model_value[var] += sign * column_value  (+ a per-variable shift applied once).
+struct ColumnRef {
+  std::size_t var = 0;
+  double sign = 1.0;
+};
+
+// Origin of a standard-form row, used to map duals back to model constraints.
+struct RowRef {
+  // Index of the model constraint, or npos for synthetic upper-bound rows.
+  std::size_t constraint = SIZE_MAX;
+  // -1 when the row was negated to make the rhs non-negative.
+  double sign = 1.0;
+};
+
+struct StandardForm {
+  std::vector<ColumnRef> columns;
+  std::vector<std::vector<std::size_t>> cols_of_var;  // per model variable
+  std::vector<double> var_shift;                      // per model variable
+  std::vector<std::vector<double>> rows;              // dense coefficient rows
+  std::vector<Relation> relations;
+  std::vector<double> rhs;
+  std::vector<RowRef> row_refs;
+  std::vector<double> cost;  // per column, minimisation sense
+  double sense_sign = 1.0;   // +1 if the model minimises, -1 if it maximises
+};
+
+[[nodiscard]] StandardForm build_standard_form(const LpModel& model);
+
+/// Converts one extra model constraint into a standard-form row against the
+/// columns of `sf` (the constraint may only reference variables that existed
+/// when `sf` was built). `normalize_rhs` applies the same sign normalisation
+/// as build_standard_form; incremental row addition passes false and instead
+/// normalises to <= form regardless of rhs sign (what dual-simplex
+/// reoptimisation wants).
+struct StandardRow {
+  std::vector<double> coeffs;  // one per structural column of sf
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+  RowRef ref;
+};
+[[nodiscard]] StandardRow build_standard_row(const StandardForm& sf,
+                                             const Constraint& constraint,
+                                             std::size_t constraint_index,
+                                             bool normalize_rhs);
+
+/// Max-equilibration: rows then columns are scaled by the reciprocal of their
+/// largest absolute coefficient. Outputs the applied scales.
+void equilibrate(StandardForm& sf, std::vector<double>& row_scale,
+                 std::vector<double>& col_scale);
+
+}  // namespace oef::solver::internal

@@ -206,14 +206,29 @@ TEST_P(OefPropertyTest, NonCoopFastPathMatchesLp) {
   const SpeedupMatrix w(std::move(rows));
   const std::vector<double> m = random_capacities(rng, inst.k);
 
-  const AllocationResult lp = make_non_cooperative_oef().allocate(w, m);
+  // LP reference with the fast path explicitly disabled (it defaults on).
+  OefOptions lp_only;
+  lp_only.use_fast_path = false;
+  const AllocationResult lp = make_non_cooperative_oef(lp_only).allocate(w, m);
   ASSERT_TRUE(lp.ok());
+  EXPECT_FALSE(lp.used_fast_path);
   const auto fast = non_cooperative_fast_path(
       w, std::vector<double>(inst.n, 1.0), m);
   ASSERT_TRUE(fast.has_value());
   EXPECT_NEAR(fast->total_efficiency(w), lp.total_efficiency,
               1e-5 * (1.0 + lp.total_efficiency));
   EXPECT_TRUE(fast->respects_capacity(m, 1e-6));
+
+  // The default allocator must take the fast path on these totally ordered
+  // instances and still match the LP, user by user.
+  const AllocationResult fast_default = make_non_cooperative_oef().allocate(w, m);
+  ASSERT_TRUE(fast_default.ok());
+  EXPECT_TRUE(fast_default.used_fast_path);
+  const std::vector<double> lp_eff = lp.allocation.efficiencies(w);
+  const std::vector<double> fast_eff = fast_default.allocation.efficiencies(w);
+  for (std::size_t l = 0; l < inst.n; ++l) {
+    EXPECT_NEAR(fast_eff[l], lp_eff[l], 1e-5 * (1.0 + lp_eff[l])) << "user " << l;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

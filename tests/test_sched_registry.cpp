@@ -1,0 +1,39 @@
+// Registry contract: every advertised name constructs, unknown names throw a
+// descriptive std::invalid_argument instead of aborting the process.
+#include "sched/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oef::sched {
+namespace {
+
+TEST(Registry, EveryAdvertisedNameConstructs) {
+  for (const std::string& name : scheduler_names()) {
+    const std::unique_ptr<Scheduler> scheduler = make_scheduler(name);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_EQ(scheduler->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrowsListingKnownSchedulers) {
+  try {
+    (void)make_scheduler("NotAScheduler");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("NotAScheduler"), std::string::npos) << message;
+    for (const std::string& name : scheduler_names()) {
+      EXPECT_NE(message.find(name), std::string::npos)
+          << "message should list " << name << ": " << message;
+    }
+  }
+}
+
+TEST(Registry, EmptyNameThrows) {
+  EXPECT_THROW((void)make_scheduler(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oef::sched

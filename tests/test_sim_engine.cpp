@@ -191,6 +191,41 @@ TEST(SimEngine, LateArrivalsWaitForTheirRound) {
   EXPECT_GT(series[4], 0.0);
 }
 
+TEST(SimEngine, SolverTelemetrySurfacesWarmStarts) {
+  // The engine keeps the scheduler (and its LP-solver state) alive across
+  // rounds, times every allocate() call, and exports the optimiser counters.
+  const Fixture f;
+  const workload::Trace trace = workload::make_four_tenant_trace(f.zoo, 2, 1e9);
+  SimOptions options;
+  options.scheduler = "OEF-coop";
+  options.max_rounds = 8;
+  const SimResult result = run_with(f, trace, options);
+  ASSERT_GE(result.rounds.size(), 2u);
+
+  double summed = 0.0;
+  for (const RoundRecord& round : result.rounds) {
+    EXPECT_GE(round.solve_seconds, 0.0);
+    summed += round.solve_seconds;
+  }
+  EXPECT_NEAR(result.total_solve_seconds, summed, 1e-12);
+  EXPECT_GT(result.total_solve_seconds, 0.0);
+
+  const sched::SchedulerTelemetry& telemetry = result.scheduler_telemetry;
+  EXPECT_GE(telemetry.lp_cold_solves, 1u);
+  EXPECT_GT(telemetry.lp_iterations, 0u);
+  EXPECT_GT(telemetry.lp_solve_seconds, 0.0);
+  // Rounds after the first reuse solver state: either dual-simplex resolves
+  // inside the lazy loop or basis reuse across rounds must have fired.
+  EXPECT_GT(telemetry.lp_warm_resolves + telemetry.lp_warm_start_hits, 0u);
+
+  // Closed-form schedulers report empty telemetry.
+  SimOptions maxmin = options;
+  maxmin.scheduler = "MaxMin";
+  const SimResult closed_form = run_with(f, trace, maxmin);
+  EXPECT_EQ(closed_form.scheduler_telemetry.lp_iterations, 0u);
+  EXPECT_EQ(closed_form.scheduler_telemetry.lp_cold_solves, 0u);
+}
+
 TEST(SimEngine, StragglerStatsAccumulate) {
   // MaxMin spreads every tenant across all types, so 2- and 4-worker jobs
   // frequently span types; OEF-coop should produce fewer cross-type events.
