@@ -1,8 +1,10 @@
 #include "core/oef.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -90,6 +92,18 @@ void build_base_model(LpModel& model, const SpeedupMatrix& w,
   }
   return Constraint{std::move(expr), Relation::kGreaterEqual, 0.0,
                     "ef_" + std::to_string(l) + "_" + std::to_string(i)};
+}
+
+/// Worker count for the separation oracle. An explicit `configured` count is
+/// honoured as-is (so determinism tests can force 2 or 4 workers on small
+/// instances); automatic mode engages threads only when the O(n^2 k) scan is
+/// big enough to amortise the fork/join.
+[[nodiscard]] std::size_t oracle_worker_count(std::size_t configured, std::size_t n) {
+  if (configured == 1) return 1;
+  if (configured != 0) return std::min(configured, n);
+  if (n < 64) return 1;
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(std::max<std::size_t>(hardware, 1), std::min<std::size_t>(n, 8));
 }
 
 /// Dominance ordering for the fast path: indices sorted so each row is
@@ -297,13 +311,43 @@ AllocationResult OefAllocator::solve_cooperative(
   // initial relaxation: across simulator rounds the active set barely moves,
   // so the first solve usually satisfies the oracle outright — and because
   // the recycled model has the same shape as last round's final model, the
-  // solver also reuses the previous optimal basis.
+  // solver also reuses the previous optimal basis. `added` marks every pair
+  // materialised as a row this call: it deduplicates the recycled pool and
+  // stops the oracle from re-emitting a row the solver already carries.
+  const std::size_t base_rows = model.num_constraints();
+  std::vector<char> added(n * n, 0);
   std::vector<std::pair<std::size_t, std::size_t>> session_pairs;
+  const auto seed_pair = [&](std::size_t l, std::size_t i) {
+    if (l < n && i < n && l != i && !added[l * n + i]) {
+      added[l * n + i] = 1;
+      model.add_constraint(envy_row(speedups, multiplicities, l, i));
+      session_pairs.push_back({l, i});
+    }
+  };
   if (options_.recycle_envy_rows && envy_pool_users_ == n) {
-    for (const auto& [l, i] : envy_pool_) {
-      if (l < n && i < n && l != i) {
-        model.add_constraint(envy_row(speedups, multiplicities, l, i));
-        session_pairs.push_back({l, i});
+    for (const auto& [l, i] : envy_pool_) seed_pair(l, i);
+  } else if (options_.seed_adjacent_envy_rows) {
+    // Cold start: at the optimum envy binds densely between users adjacent
+    // in the dominance order (Thm 5.2's adjacency structure), so seeding
+    // both directions of every pair within distance 2 (~4n rows) skips most
+    // of the lazy journey that would otherwise rediscover them one round at
+    // a time. Depth 2 measured best: depth 1 leaves too much for the oracle,
+    // depth 3's larger initial LP costs more than it saves.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> strength(n, 0.0);
+    for (std::size_t l = 0; l < n; ++l) {
+      for (std::size_t j = 0; j < k; ++j) strength[l] += speedups.at(l, j);
+      strength[l] /= multiplicities[l];
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (strength[a] != strength[b]) return strength[a] < strength[b];
+      return a < b;
+    });
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+      for (std::size_t d = 1; d <= 2 && r + d < n; ++d) {
+        seed_pair(order[r], order[r + d]);
+        seed_pair(order[r + d], order[r]);
       }
     }
   }
@@ -311,38 +355,90 @@ AllocationResult OefAllocator::solve_cooperative(
   // Lazy row generation: add every violated envy row per round (capped per
   // user) — more rows per solve, but far fewer full re-solves than the
   // one-row-per-user policy. Only a small set is active at the optimum.
+  //
+  // Pairs already materialised are skipped below a looser threshold: rows in
+  // the model are satisfied only to the solver's feasibility tolerance, and
+  // flagging that echo would append duplicate rows forever; pairs whose row
+  // was dropped again by compaction are re-emitted once the violation is
+  // genuine. The per-user scans are independent, so they shard across a
+  // small worker pool; the merge walks users in index order, making the
+  // emitted rows identical for every thread count.
+  const std::size_t per_user_cap = std::max<std::size_t>(1, options_.max_envy_rows_per_user);
+  const double readd_tolerance = std::max(options_.envy_tolerance, 1e-6);
+  const std::size_t workers = oracle_worker_count(options_.oracle_threads, n);
+  double oracle_seconds = 0.0;
+
   const auto oracle = [&](const std::vector<double>& point) {
+    const auto oracle_start = std::chrono::steady_clock::now();
+    std::vector<std::vector<std::pair<double, std::size_t>>> top(n);
+    const auto scan_users = [&](std::size_t begin, std::size_t end) {
+      std::vector<std::pair<double, std::size_t>> gaps;
+      for (std::size_t l = begin; l < end; ++l) {
+        const double own = scaled_efficiency(speedups, multiplicities, point, l);
+        gaps.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i == l) continue;
+          const double gap = envied_efficiency(speedups, multiplicities, point, l, i) - own;
+          const double threshold =
+              added[l * n + i] ? readd_tolerance : options_.envy_tolerance;
+          if (gap > threshold) gaps.push_back({gap, i});
+        }
+        // Worst first; index breaks exact ties so the order is a total one.
+        std::sort(gaps.begin(), gaps.end(), [](const auto& a, const auto& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return a.second < b.second;
+        });
+        if (gaps.size() > per_user_cap) gaps.resize(per_user_cap);
+        top[l] = gaps;
+      }
+    };
+    if (workers <= 1) {
+      scan_users(0, n);
+    } else {
+      const std::size_t chunk = (n + workers - 1) / workers;
+      std::vector<std::thread> pool;
+      pool.reserve(workers - 1);
+      for (std::size_t w = 1; w < workers; ++w) {
+        const std::size_t begin = std::min(n, w * chunk);
+        const std::size_t end = std::min(n, begin + chunk);
+        if (begin < end) pool.emplace_back(scan_users, begin, end);
+      }
+      scan_users(0, std::min(n, chunk));
+      for (std::thread& worker : pool) worker.join();
+    }
     std::vector<Constraint> violated;
     for (std::size_t l = 0; l < n; ++l) {
-      const double own = scaled_efficiency(speedups, multiplicities, point, l);
-      // Collect this user's violations, worst first, keeping the top few.
-      std::vector<std::pair<double, std::size_t>> gaps;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (i == l) continue;
-        const double gap = envied_efficiency(speedups, multiplicities, point, l, i) - own;
-        if (gap > options_.envy_tolerance) gaps.push_back({gap, i});
-      }
-      std::sort(gaps.begin(), gaps.end(),
-                [](const auto& a, const auto& b) { return a.first > b.first; });
-      const std::size_t per_user_cap = 8;
-      for (std::size_t g = 0; g < std::min(per_user_cap, gaps.size()); ++g) {
-        violated.push_back(envy_row(speedups, multiplicities, l, gaps[g].second));
-        session_pairs.push_back({l, gaps[g].second});
+      for (const auto& [gap, i] : top[l]) {
+        violated.push_back(envy_row(speedups, multiplicities, l, i));
+        session_pairs.push_back({l, i});
+        added[l * n + i] = 1;
       }
     }
+    oracle_seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                    oracle_start)
+                          .count();
     return violated;
   };
 
-  const solver::LazyConstraintSolver lazy(options_.solver, options_.max_lazy_rounds);
+  solver::LazyConstraintSolver lazy(options_.solver, options_.max_lazy_rounds);
+  if (options_.max_envy_rows_total != SIZE_MAX) {
+    const std::size_t envy_budget = options_.max_envy_rows_total != 0
+                                        ? options_.max_envy_rows_total
+                                        : std::max<std::size_t>(16 * n, 512);
+    lazy.enable_compaction(base_rows, base_rows + envy_budget);
+  }
   const solver::LazySolveResult lazy_result = lazy.solve(coop_solver_, model, oracle);
   result.status = lazy_result.solution.status;
   result.lp_iterations = lazy_result.total_iterations;
   result.lazy_rounds = lazy_result.rounds;
   result.envy_rows_added = lazy_result.rows_added;
+  result.envy_rows_dropped = lazy_result.rows_dropped;
   result.warm_rounds = lazy_result.warm_rounds;
   result.cold_lp_iterations = lazy_result.cold_iterations;
   result.warm_lp_iterations = lazy_result.warm_iterations;
   result.solve_seconds = lazy_result.solve_seconds;
+  result.oracle_seconds = oracle_seconds;
+  oracle_seconds_total_ += oracle_seconds;
   if (!lazy_result.solution.optimal() || !lazy_result.converged) {
     if (!lazy_result.converged && lazy_result.solution.optimal()) {
       result.status = solver::SolveStatus::kIterationLimit;

@@ -21,7 +21,9 @@ class OefScheduler : public Scheduler {
                                           const std::vector<double>& weights) const override;
 
   [[nodiscard]] SchedulerTelemetry telemetry() const override {
-    return to_telemetry(allocator_.solver_stats());
+    SchedulerTelemetry t = to_telemetry(allocator_.solver_stats());
+    t.oracle_seconds = allocator_.oracle_seconds();
+    return t;
   }
 
  private:

@@ -25,6 +25,10 @@ struct SchedulerTelemetry {
   std::size_t lp_tableau_fallbacks = 0;
   std::size_t lp_iterations = 0;
   double lp_solve_seconds = 0.0;
+  /// Wall-clock seconds inside the envy separation oracle (cooperative OEF;
+  /// zero for schedulers without one). Disjoint from lp_solve_seconds, so
+  /// the two split a round's scheduling time between pricing and separation.
+  double oracle_seconds = 0.0;
 };
 
 class Scheduler {

@@ -132,12 +132,16 @@ SimResult SimulationEngine::run() {
 
     // Fair shares from the configured scheduler. The scheduler object (and
     // with it any warm LP-solver state) lives across all rounds of the run,
-    // so round r+1's solve starts from round r's optimal basis.
+    // so round r+1's solve starts from round r's optimal basis. The
+    // telemetry delta splits this round's compute between LP pricing and
+    // envy separation.
+    const double oracle_before = scheduler->telemetry().oracle_seconds;
     const auto solve_start = std::chrono::steady_clock::now();
     const core::Allocation shares = scheduler->allocate(reported, capacities, multiplicities);
     const double solve_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start)
             .count();
+    const double oracle_seconds = scheduler->telemetry().oracle_seconds - oracle_before;
     result.total_solve_seconds += solve_seconds;
 
     // Stable rounder slots per virtual user.
@@ -178,6 +182,7 @@ SimResult SimulationEngine::run() {
     record.round = round;
     record.time_seconds = now;
     record.solve_seconds = solve_seconds;
+    record.oracle_seconds = oracle_seconds;
     record.cross_type_jobs = plan.cross_type_jobs;
     record.cross_host_jobs = plan.cross_host_jobs;
     record.straggler_workers = plan.straggler_workers;

@@ -34,6 +34,9 @@ struct RoundRecord {
   /// Wall-clock seconds the scheduler spent computing this round's shares
   /// (the Fig. 10a overhead quantity, measured in-situ).
   double solve_seconds = 0.0;
+  /// Portion of solve_seconds spent inside the envy separation oracle
+  /// (cooperative OEF; zero for schedulers without one).
+  double oracle_seconds = 0.0;
 };
 
 struct SimResult {

@@ -66,6 +66,18 @@ std::vector<double> Basis::ftran(const std::vector<double>& a) const {
   return w;
 }
 
+std::vector<double> Basis::ftran(const std::vector<SparseEntry>& a) const {
+  const std::size_t m = basic_.size();
+  std::vector<double> w(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double>& row = binv_[i];
+    double acc = 0.0;
+    for (const SparseEntry& entry : a) acc += row[entry.row] * entry.value;
+    w[i] = acc;
+  }
+  return w;
+}
+
 std::vector<double> Basis::btran(const std::vector<double>& cb) const {
   const std::size_t m = basic_.size();
   OEF_CHECK(cb.size() == m);

@@ -1,9 +1,28 @@
 #include "solver/lazy.h"
 
+#include <cmath>
+#include <utility>
+
 #include "common/check.h"
 #include "common/logging.h"
 
 namespace oef::solver {
+
+namespace {
+
+/// Slack of `constraint` at `point` (>= 0 when satisfied); equality rows
+/// report 0 so they are never considered loose.
+double constraint_slack(const Constraint& constraint, const std::vector<double>& point) {
+  const double lhs = constraint.expr.evaluate(point);
+  switch (constraint.relation) {
+    case Relation::kLessEqual: return constraint.rhs - lhs;
+    case Relation::kGreaterEqual: return lhs - constraint.rhs;
+    case Relation::kEqual: return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 LazySolveResult LazyConstraintSolver::solve(LpModel& model,
                                             const SeparationOracle& oracle) const {
@@ -15,10 +34,14 @@ LazySolveResult LazyConstraintSolver::solve(LpSolver& solver, LpModel& model,
                                             const SeparationOracle& oracle) const {
   LazySolveResult result;
   const double seconds_before = solver.stats().solve_seconds;
+  bool cold_reload = false;
   for (result.rounds = 1; result.rounds <= max_rounds_; ++result.rounds) {
     // Round 1 loads the model (possibly reusing the basis of a previous
-    // same-shaped session); later rounds repair the basis incrementally.
-    result.solution = result.rounds == 1 ? solver.solve(model) : solver.resolve();
+    // same-shaped session); later rounds repair the basis incrementally,
+    // except right after a compaction, which changed the model's shape.
+    result.solution =
+        (result.rounds == 1 || cold_reload) ? solver.solve(model) : solver.resolve();
+    cold_reload = false;
     result.total_iterations += result.solution.iterations;
     if (result.rounds > 1 && result.solution.warm_started) {
       ++result.warm_rounds;
@@ -35,6 +58,39 @@ LazySolveResult LazyConstraintSolver::solve(LpSolver& solver, LpModel& model,
       return result;
     }
     result.rows_added += violated.size();
+
+    if (compaction_ && max_rows_ > 0 &&
+        model.num_constraints() + violated.size() > max_rows_) {
+      // Rebuild the relaxation: permanent prefix + rows binding at the
+      // current optimum + the new violations, dropping everything loose.
+      OEF_CHECK(permanent_rows_ <= model.num_constraints());
+      LpModel compacted(model.sense());
+      for (const Variable& var : model.variables()) {
+        compacted.add_variable(var.name, var.lower, var.upper, var.objective);
+      }
+      const auto& constraints = model.constraints();
+      std::size_t dropped = 0;
+      for (std::size_t c = 0; c < constraints.size(); ++c) {
+        if (c >= permanent_rows_ &&
+            constraint_slack(constraints[c], result.solution.values) >
+                compaction_slack_tol_) {
+          ++dropped;
+          continue;
+        }
+        compacted.add_constraint(constraints[c]);
+      }
+      for (Constraint& constraint : violated) {
+        compacted.add_constraint(std::move(constraint));
+      }
+      model = std::move(compacted);
+      result.rows_dropped += dropped;
+      cold_reload = true;
+      common::log_debug("lazy solver: round " + std::to_string(result.rounds) +
+                        " compacted relaxation, dropped " + std::to_string(dropped) +
+                        " rows (" + std::to_string(model.num_constraints()) + " remain)");
+      continue;
+    }
+
     // Keep the caller's model in sync with the solver's internal copy.
     for (const Constraint& constraint : violated) model.add_constraint(constraint);
     solver.add_rows(violated);

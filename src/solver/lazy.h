@@ -35,6 +35,8 @@ struct LazySolveResult {
   std::size_t rounds = 0;
   /// Total rows added by the oracle across all rounds.
   std::size_t rows_added = 0;
+  /// Rows dropped again by relaxation compaction (see enable_compaction).
+  std::size_t rows_dropped = 0;
   /// True when the final solution satisfies the oracle.
   bool converged = false;
   /// Rounds >= 2 completed by a warm (dual-simplex) resolve.
@@ -54,6 +56,22 @@ class LazyConstraintSolver {
   explicit LazyConstraintSolver(SolverOptions options = {}, std::size_t max_rounds = 200)
       : options_(options), max_rounds_(max_rounds) {}
 
+  /// Enables relaxation compaction. Generated rows are transient: a row that
+  /// cut off an early relaxed optimum is usually slack a few rounds later,
+  /// yet it inflates the basis (and every O(m^2) solver operation) for the
+  /// rest of the session. With compaction on, whenever the working model
+  /// would exceed `max_rows` constraints, every row past the first
+  /// `permanent_rows` whose slack at the current optimum exceeds `slack_tol`
+  /// is dropped and the shrunken model is re-solved. Dropped rows that
+  /// become violated again are simply re-separated by the oracle.
+  void enable_compaction(std::size_t permanent_rows, std::size_t max_rows,
+                         double slack_tol = 1e-5) {
+    permanent_rows_ = permanent_rows;
+    max_rows_ = max_rows;
+    compaction_slack_tol_ = slack_tol;
+    compaction_ = true;
+  }
+
   /// Solves `model` (which is extended in place with the generated rows)
   /// using a throwaway solver instance.
   [[nodiscard]] LazySolveResult solve(LpModel& model, const SeparationOracle& oracle) const;
@@ -67,6 +85,10 @@ class LazyConstraintSolver {
  private:
   SolverOptions options_;
   std::size_t max_rounds_;
+  bool compaction_ = false;
+  std::size_t permanent_rows_ = 0;
+  std::size_t max_rows_ = 0;
+  double compaction_slack_tol_ = 1e-5;
 };
 
 }  // namespace oef::solver

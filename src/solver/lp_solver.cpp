@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "solver/basis.h"
+#include "solver/sparse_matrix.h"
 #include "solver/standard_form.h"
 
 namespace oef::solver {
@@ -25,6 +26,9 @@ namespace {
 
 constexpr double kPivotTol = 1e-7;
 constexpr double kFeasTol = 1e-9;
+// Devex reference-framework restart threshold: when the largest weight grows
+// past this, the frame is stale and all weights reset to 1.
+constexpr double kDevexReset = 1e7;
 
 using Clock = std::chrono::steady_clock;
 
@@ -34,9 +38,19 @@ double seconds_since(Clock::time_point start) {
 
 }  // namespace
 
-// Revised-simplex state: standard form (row-major, scaled), Basis, and the
-// current basic solution. One Core corresponds to one loaded model; warm
-// starts copy the Basis from the previous Core into the next.
+// Revised-simplex state: standard form (scaled, column-sparse), Basis, and
+// the current basic solution. One Core corresponds to one loaded model; warm
+// starts copy the Basis and the nonbasic bound statuses from the previous
+// Core into the next.
+//
+// Variable upper bounds are handled natively (bounded-variable simplex): a
+// nonbasic column rests at its lower bound (value 0) or, when at_upper_ is
+// set, at its finite upper bound; the primal ratio test lets basics leave at
+// either bound and lets the entering column flip bounds without a basis
+// change, and the dual ratio test prices both directions. The constraint
+// matrix is stored column-sparse (SparseMatrix); every pricing pass iterates
+// nonzeros only unless SolverOptions::sparse_pricing is off, which keeps the
+// dense row sweeps as a benchmarking reference arm.
 class LpSolver::Core {
  public:
   void load(const LpModel& model, const SolverOptions& options);
@@ -44,10 +58,10 @@ class LpSolver::Core {
   /// Two-phase cold solve from the all-slack/artificial basis.
   [[nodiscard]] SolveStatus run_cold(const SolverOptions& options);
 
-  /// Attempts to reoptimise starting from `previous`'s basis. Returns
-  /// kIterationLimit (without consuming iterations) when the basis cannot be
-  /// reused, so the caller falls back to a cold solve.
-  [[nodiscard]] SolveStatus run_warm_from(const Basis& prior, const SolverOptions& options);
+  /// Attempts to reoptimise starting from `prior`'s basis and bound statuses.
+  /// Returns kIterationLimit (without consuming iterations) when the basis
+  /// cannot be reused, so the caller falls back to a cold solve.
+  [[nodiscard]] SolveStatus run_warm_from(const Core& prior, const SolverOptions& options);
 
   /// Converts a model constraint into a standard-form row against this
   /// core's column layout (inequalities normalised to <=).
@@ -69,23 +83,32 @@ class LpSolver::Core {
   void extract(const LpModel& model, LpSolution& out) const;
 
   [[nodiscard]] bool shape_matches(const Core& other) const;
-  [[nodiscard]] const Basis& basis() const { return basis_; }
   [[nodiscard]] std::size_t iterations() const { return iterations_; }
   [[nodiscard]] std::size_t phase1_iterations() const { return phase1_iterations_; }
   [[nodiscard]] std::size_t dual_iterations() const { return dual_iterations_; }
 
  private:
   void fill_column(std::size_t col, std::vector<double>& out) const;
+  /// B^-1 A_col via the sparse ftran (dense gather in the reference arm).
+  [[nodiscard]] std::vector<double> ftran_column(std::size_t col,
+                                                 std::vector<double>& scratch) const;
+  /// out[j] += factor * (v · A_j) for every column j: the shared kernel of
+  /// reduced-cost and pivot-row pricing. Sparse mode iterates CSC nonzeros;
+  /// dense mode sweeps the row-major reference copy.
+  void accumulate_vt_a(const std::vector<double>& v, double factor,
+                       std::vector<double>& out) const;
   [[nodiscard]] bool refactor();
   [[nodiscard]] bool refactor_if_due(const SolverOptions& options);
   void refresh_xb();
   void rebuild_basis_flags();
+  void set_at_upper(std::size_t col, bool value);
   [[nodiscard]] std::vector<double> basic_costs(bool phase1) const;
   [[nodiscard]] std::vector<double> reduced_costs(const std::vector<double>& y,
                                                   bool phase1) const;
   [[nodiscard]] double phase_objective(bool phase1) const;
-  void apply_pivot(std::size_t leave_row, std::size_t enter_col,
-                   const std::vector<double>& w);
+  void update_primal_devex(const std::vector<double>& rho, std::size_t enter,
+                           std::size_t leaving_col, double pivot_alpha);
+  void update_dual_devex(const std::vector<double>& w, std::size_t leave);
   [[nodiscard]] SolveStatus run_primal(bool phase1, const SolverOptions& options);
   [[nodiscard]] SolveStatus run_dual(const SolverOptions& options);
   void drive_out_artificials();
@@ -93,22 +116,33 @@ class LpSolver::Core {
 
   // Structural-column metadata (a StandardForm with rows cleared).
   internal::StandardForm skel_;
-  std::vector<std::vector<double>> rows_;  // m rows over num_cols_ columns
-  std::vector<Relation> relations_;        // normalised, per row
+  SparseMatrix cols_;  // constraint matrix, one sparse column per variable
+  std::vector<std::vector<double>> dense_rows_;  // reference arm only (sparse_ off)
+  std::vector<Relation> relations_;              // normalised, per row
   std::vector<internal::RowRef> row_refs_;
   std::vector<double> b_;        // working rhs (scaled, possibly perturbed)
   std::vector<double> b_exact_;  // exact scaled rhs
   std::vector<double> row_scale_;
   std::vector<double> col_scale_;  // structural columns
   std::vector<double> cost_;       // phase-2 cost per column (scaled, min sense)
+  std::vector<double> upper_;      // scaled upper bound per column (kInf if none)
   std::vector<char> artificial_;   // per column
   std::vector<char> in_basis_;     // per column
+  std::vector<char> at_upper_;     // per column; only ever set while nonbasic
   std::size_t n_struct_ = 0;
   std::size_t num_cols_ = 0;
   std::size_t m_ = 0;
+  std::size_t num_at_upper_ = 0;
   bool any_artificial_ = false;
   bool perturbed_ = false;
   bool scaling_ = false;
+  bool sparse_ = true;
+  bool devex_ = true;
+
+  // Devex reference weights: per column for the primal entering choice, per
+  // row for the dual leaving-row choice. Reset to 1 at each phase entry.
+  std::vector<double> primal_weights_;
+  std::vector<double> dual_weights_;
 
   Basis basis_;
   std::vector<double> xb_;
@@ -120,8 +154,11 @@ class LpSolver::Core {
 };
 
 void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
-  internal::StandardForm sf = internal::build_standard_form(model);
+  internal::StandardForm sf =
+      internal::build_standard_form(model, /*native_upper_bounds=*/true);
   scaling_ = options.enable_scaling;
+  sparse_ = options.sparse_pricing;
+  devex_ = options.pricing == PricingRule::kDevex;
   if (scaling_) {
     internal::equilibrate(sf, row_scale_, col_scale_);
   } else {
@@ -144,32 +181,55 @@ void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
   num_cols_ = n_struct_ + num_slack + num_artificial;
   any_artificial_ = num_artificial > 0;
 
-  rows_.assign(m_, std::vector<double>(num_cols_, 0.0));
   cost_.assign(num_cols_, 0.0);
   std::copy(sf.cost.begin(), sf.cost.end(), cost_.begin());
+  upper_.assign(num_cols_, kInf);
+  std::copy(sf.col_upper.begin(), sf.col_upper.end(), upper_.begin());
   artificial_.assign(num_cols_, 0);
   in_basis_.assign(num_cols_, 0);
+  at_upper_.assign(num_cols_, 0);
+  num_at_upper_ = 0;
+
+  // Constraint matrix: column-sparse always (refactorisation and ftran
+  // columns come from here); the dense row copy only exists for the
+  // dense-pricing reference arm.
+  cols_.reset(m_);
+  for (std::size_t j = 0; j < num_cols_; ++j) cols_.add_column();
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    for (std::size_t i = 0; i < m_; ++i) cols_.add_entry(j, i, sf.rows[i][j]);
+  }
+  if (!sparse_) {
+    dense_rows_.assign(m_, std::vector<double>(num_cols_, 0.0));
+    for (std::size_t i = 0; i < m_; ++i) {
+      std::copy(sf.rows[i].begin(), sf.rows[i].end(), dense_rows_[i].begin());
+    }
+  } else {
+    dense_rows_.clear();
+  }
 
   std::vector<std::size_t> initial_basis(m_);
   std::size_t next_slack = n_struct_;
   std::size_t next_artificial = n_struct_ + num_slack;
   for (std::size_t i = 0; i < m_; ++i) {
-    std::copy(sf.rows[i].begin(), sf.rows[i].end(), rows_[i].begin());
+    const auto set_unit = [&](std::size_t col, double value) {
+      cols_.add_entry(col, i, value);
+      if (!sparse_) dense_rows_[i][col] = value;
+    };
     switch (sf.relations[i]) {
       case Relation::kLessEqual:
-        rows_[i][next_slack] = 1.0;
+        set_unit(next_slack, 1.0);
         initial_basis[i] = next_slack;
         ++next_slack;
         break;
       case Relation::kGreaterEqual:
-        rows_[i][next_slack] = -1.0;
+        set_unit(next_slack, -1.0);
         ++next_slack;
-        rows_[i][next_artificial] = 1.0;
+        set_unit(next_artificial, 1.0);
         initial_basis[i] = next_artificial;
         ++next_artificial;
         break;
       case Relation::kEqual:
-        rows_[i][next_artificial] = 1.0;
+        set_unit(next_artificial, 1.0);
         initial_basis[i] = next_artificial;
         ++next_artificial;
         break;
@@ -204,6 +264,8 @@ void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
   basis_.set_basic(std::move(initial_basis));
   for (const std::size_t j : basis_.basic()) in_basis_[j] = 1;
   xb_ = b_;
+  primal_weights_.assign(num_cols_, 1.0);
+  dual_weights_.assign(m_, 1.0);
 
   max_iterations_ = options.max_iterations != 0 ? options.max_iterations
                                                 : 200 * (m_ + num_cols_) + 10000;
@@ -211,8 +273,31 @@ void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
 }
 
 void LpSolver::Core::fill_column(std::size_t col, std::vector<double>& out) const {
-  out.resize(m_);
-  for (std::size_t i = 0; i < m_; ++i) out[i] = rows_[i][col];
+  cols_.gather_column(col, out);
+}
+
+std::vector<double> LpSolver::Core::ftran_column(std::size_t col,
+                                                 std::vector<double>& scratch) const {
+  if (sparse_) return basis_.ftran(cols_.column(col));
+  fill_column(col, scratch);
+  return basis_.ftran(scratch);
+}
+
+void LpSolver::Core::accumulate_vt_a(const std::vector<double>& v, double factor,
+                                     std::vector<double>& out) const {
+  if (sparse_) {
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      const double acc = cols_.dot_column(j, v);
+      if (acc != 0.0) out[j] += factor * acc;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double vi = factor * v[i];
+    if (vi == 0.0) continue;
+    const std::vector<double>& row = dense_rows_[i];
+    for (std::size_t j = 0; j < num_cols_; ++j) out[j] += vi * row[j];
+  }
 }
 
 bool LpSolver::Core::refactor() {
@@ -221,19 +306,42 @@ bool LpSolver::Core::refactor() {
 }
 
 bool LpSolver::Core::refactor_if_due(const SolverOptions& options) {
-  if (basis_.pivots_since_refactor() < std::max<std::size_t>(1, options.refactor_interval)) {
-    return true;
-  }
+  // Adaptive interval: a refactorisation costs O(m^3) while a pivot update
+  // costs O(m^2), so spacing refactorisations at least m pivots apart keeps
+  // the amortised refactor cost at one pivot's worth. options.refactor_interval
+  // acts as the small-problem floor. Drift between refactorisations is
+  // bounded by the dual path's alpha/ftran agreement check and the final
+  // is_feasible verification (which falls back to the tableau on failure).
+  const std::size_t interval =
+      std::max<std::size_t>(std::max<std::size_t>(1, options.refactor_interval), m_);
+  if (basis_.pivots_since_refactor() < interval) return true;
   if (!refactor()) return false;
   refresh_xb();
   return true;
 }
 
-void LpSolver::Core::refresh_xb() { xb_ = basis_.ftran(b_); }
+void LpSolver::Core::refresh_xb() {
+  if (num_at_upper_ == 0) {
+    xb_ = basis_.ftran(b_);
+    return;
+  }
+  // x_B = B^-1 (b - Σ_{j nonbasic at upper} u_j A_j).
+  std::vector<double> rhs = b_;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (at_upper_[j]) cols_.axpy_column(j, -upper_[j], rhs);
+  }
+  xb_ = basis_.ftran(rhs);
+}
 
 void LpSolver::Core::rebuild_basis_flags() {
   std::fill(in_basis_.begin(), in_basis_.end(), 0);
   for (const std::size_t j : basis_.basic()) in_basis_[j] = 1;
+}
+
+void LpSolver::Core::set_at_upper(std::size_t col, bool value) {
+  if (static_cast<bool>(at_upper_[col]) == value) return;
+  at_upper_[col] = value ? 1 : 0;
+  num_at_upper_ += value ? 1 : static_cast<std::size_t>(-1);
 }
 
 std::vector<double> LpSolver::Core::basic_costs(bool phase1) const {
@@ -253,12 +361,7 @@ std::vector<double> LpSolver::Core::reduced_costs(const std::vector<double>& y,
   } else {
     d = cost_;
   }
-  for (std::size_t i = 0; i < m_; ++i) {
-    const double yi = y[i];
-    if (yi == 0.0) continue;
-    const std::vector<double>& row = rows_[i];
-    for (std::size_t j = 0; j < num_cols_; ++j) d[j] -= yi * row[j];
-  }
+  accumulate_vt_a(y, -1.0, d);
   return d;
 }
 
@@ -266,19 +369,62 @@ double LpSolver::Core::phase_objective(bool phase1) const {
   const std::vector<double> cb = basic_costs(phase1);
   double acc = 0.0;
   for (std::size_t i = 0; i < m_; ++i) acc += cb[i] * xb_[i];
+  if (!phase1 && num_at_upper_ != 0) {
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (at_upper_[j]) acc += cost_[j] * upper_[j];
+    }
+  }
   return acc;
 }
 
-void LpSolver::Core::apply_pivot(std::size_t leave_row, std::size_t enter_col,
-                                 const std::vector<double>& w) {
-  const double t = std::max(0.0, xb_[leave_row]) / w[leave_row];
-  for (std::size_t i = 0; i < m_; ++i) {
-    if (i != leave_row) xb_[i] -= t * w[i];
+void LpSolver::Core::update_primal_devex(const std::vector<double>& rho, std::size_t enter,
+                                         std::size_t leaving_col, double pivot_alpha) {
+  if (std::abs(pivot_alpha) < 1e-12) return;
+  const double gq = primal_weights_[enter];
+  const double inv2 = 1.0 / (pivot_alpha * pivot_alpha);
+  double biggest = 1.0;
+  if (sparse_) {
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (in_basis_[j] || j == leaving_col) continue;
+      const double alpha = cols_.dot_column(j, rho);
+      if (alpha != 0.0) {
+        const double candidate = alpha * alpha * inv2 * gq;
+        if (candidate > primal_weights_[j]) primal_weights_[j] = candidate;
+      }
+      biggest = std::max(biggest, primal_weights_[j]);
+    }
+  } else {
+    std::vector<double> alpha(num_cols_, 0.0);
+    accumulate_vt_a(rho, 1.0, alpha);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (in_basis_[j] || j == leaving_col) continue;
+      const double candidate = alpha[j] * alpha[j] * inv2 * gq;
+      if (candidate > primal_weights_[j]) primal_weights_[j] = candidate;
+      biggest = std::max(biggest, primal_weights_[j]);
+    }
   }
-  xb_[leave_row] = t;
-  in_basis_[basis_.basic()[leave_row]] = 0;
-  in_basis_[enter_col] = 1;
-  basis_.pivot(leave_row, enter_col, w);
+  primal_weights_[leaving_col] = std::max(gq * inv2, 1.0);
+  if (biggest > kDevexReset) {
+    std::fill(primal_weights_.begin(), primal_weights_.end(), 1.0);
+  }
+}
+
+void LpSolver::Core::update_dual_devex(const std::vector<double>& w, std::size_t leave) {
+  const double wr = w[leave];
+  if (std::abs(wr) < 1e-12) return;
+  const double tr = dual_weights_[leave];
+  const double inv2 = 1.0 / (wr * wr);
+  double biggest = 1.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i == leave || w[i] == 0.0) continue;
+    const double candidate = w[i] * w[i] * inv2 * tr;
+    if (candidate > dual_weights_[i]) dual_weights_[i] = candidate;
+    biggest = std::max(biggest, dual_weights_[i]);
+  }
+  dual_weights_[leave] = std::max(tr * inv2, 1.0);
+  if (biggest > kDevexReset) {
+    std::fill(dual_weights_.begin(), dual_weights_.end(), 1.0);
+  }
 }
 
 SolveStatus LpSolver::Core::run_primal(bool phase1, const SolverOptions& options) {
@@ -287,6 +433,7 @@ SolveStatus LpSolver::Core::run_primal(bool phase1, const SolverOptions& options
   bool bland = false;
   double last_objective = phase_objective(phase1);
   std::vector<double> col(m_);
+  if (devex_) std::fill(primal_weights_.begin(), primal_weights_.end(), 1.0);
   while (true) {
     if (iterations_ >= max_iterations_) return SolveStatus::kIterationLimit;
     if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
@@ -294,66 +441,128 @@ SolveStatus LpSolver::Core::run_primal(bool phase1, const SolverOptions& options
     const std::vector<double> y = basis_.btran(basic_costs(phase1));
     const std::vector<double> d = reduced_costs(y, phase1);
 
-    // Entering column: Dantzig (most negative), Bland (first negative) when
-    // stalling. Artificials may re-enter only in phase 1.
+    // Entering column and direction: a column at its lower bound enters
+    // upward on d < 0, a column at its upper bound enters downward on d > 0.
+    // Devex scores d^2 / weight, Dantzig |d|, Bland first eligible.
+    // Artificials may re-enter only in phase 1.
     std::size_t enter = SIZE_MAX;
-    double best = -tol;
+    double dir = 1.0;
+    double best_score = 0.0;
     for (std::size_t j = 0; j < num_cols_; ++j) {
       if (in_basis_[j]) continue;
       if (!phase1 && artificial_[j]) continue;
-      if (d[j] < best) {
-        best = d[j];
+      const double dj = d[j];
+      double candidate_dir;
+      if (!at_upper_[j] && dj < -tol) {
+        candidate_dir = 1.0;
+      } else if (at_upper_[j] && dj > tol) {
+        candidate_dir = -1.0;
+      } else {
+        continue;
+      }
+      const double score =
+          (devex_ && !bland) ? dj * dj / primal_weights_[j] : std::abs(dj);
+      if (enter == SIZE_MAX || score > best_score) {
+        best_score = score;
         enter = j;
+        dir = candidate_dir;
         if (bland) break;
       }
     }
     if (enter == SIZE_MAX) return SolveStatus::kOptimal;
 
-    fill_column(enter, col);
-    const std::vector<double> w = basis_.ftran(col);
+    const std::vector<double> w = ftran_column(enter, col);
 
-    // Ratio test, mirroring the tableau: near-ties broken by pivot magnitude
-    // (stability) or smallest basic index (Bland, termination); loose-
-    // tolerance fallback before declaring unboundedness.
+    // Bounded ratio test: a basic variable may block by reaching its lower
+    // bound (direction-adjusted coefficient > 0) or its finite upper bound
+    // (coefficient < 0); near-ties are broken by pivot magnitude (stability)
+    // or smallest basic index (Bland, termination); loose-tolerance fallback
+    // before declaring unboundedness. The entering column's own finite range
+    // allows a pivot-free bound flip.
+    const double t_bound = upper_[enter];
     std::size_t leave = SIZE_MAX;
+    bool leave_at_upper = false;
     double best_ratio = std::numeric_limits<double>::infinity();
     double best_pivot = 0.0;
     const auto& basic = basis_.basic();
     for (std::size_t i = 0; i < m_; ++i) {
-      const double a = w[i];
-      if (a <= kPivotTol) continue;
-      const double ratio = std::max(0.0, xb_[i]) / a;
+      const double a = dir * w[i];
+      double ratio;
+      bool to_upper;
+      if (a > kPivotTol) {
+        ratio = std::max(0.0, xb_[i]) / a;
+        to_upper = false;
+      } else if (a < -kPivotTol && std::isfinite(upper_[basic[i]])) {
+        ratio = std::max(0.0, upper_[basic[i]] - xb_[i]) / -a;
+        to_upper = true;
+      } else {
+        continue;
+      }
       const double tie_band = 1e-9 * (1.0 + ratio);
       if (leave == SIZE_MAX || ratio < best_ratio - tie_band) {
         best_ratio = ratio;
         leave = i;
-        best_pivot = a;
+        leave_at_upper = to_upper;
+        best_pivot = std::abs(a);
       } else if (ratio < best_ratio + tie_band) {
-        if (bland ? basic[i] < basic[leave] : a > best_pivot) {
+        if (bland ? basic[i] < basic[leave] : std::abs(a) > best_pivot) {
           best_ratio = std::min(best_ratio, ratio);
           leave = i;
-          best_pivot = a;
+          leave_at_upper = to_upper;
+          best_pivot = std::abs(a);
         }
       }
     }
-    if (leave == SIZE_MAX) {
+    if (leave == SIZE_MAX && !std::isfinite(t_bound)) {
       for (std::size_t i = 0; i < m_; ++i) {
-        const double a = w[i];
-        if (a <= tol) continue;
-        const double ratio = std::max(0.0, xb_[i]) / a;
+        const double a = dir * w[i];
+        double ratio;
+        bool to_upper;
+        if (a > tol) {
+          ratio = std::max(0.0, xb_[i]) / a;
+          to_upper = false;
+        } else if (a < -tol && std::isfinite(upper_[basic[i]])) {
+          ratio = std::max(0.0, upper_[basic[i]] - xb_[i]) / -a;
+          to_upper = true;
+        } else {
+          continue;
+        }
         if (ratio < best_ratio) {
           best_ratio = ratio;
           leave = i;
+          leave_at_upper = to_upper;
         }
       }
     }
-    if (leave == SIZE_MAX) {
+    if (leave == SIZE_MAX && !std::isfinite(t_bound)) {
       return phase1 ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
     }
 
-    apply_pivot(leave, enter, w);
-    ++iterations_;
-    if (phase1) ++phase1_iterations_;
+    if (std::isfinite(t_bound) && (leave == SIZE_MAX || t_bound <= best_ratio)) {
+      // Bound flip: the entering variable crosses its whole range without any
+      // basic variable blocking — no basis change, just the statuses.
+      for (std::size_t i = 0; i < m_; ++i) xb_[i] -= t_bound * dir * w[i];
+      set_at_upper(enter, dir > 0.0);
+      ++iterations_;
+      if (phase1) ++phase1_iterations_;
+    } else {
+      std::vector<double> rho;
+      if (devex_ && !bland) rho = basis_.row(leave);  // pre-pivot copy
+      const double t = best_ratio;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i != leave) xb_[i] -= t * dir * w[i];
+      }
+      const std::size_t leaving_col = basic[leave];
+      xb_[leave] = dir > 0.0 ? t : upper_[enter] - t;
+      in_basis_[leaving_col] = 0;
+      in_basis_[enter] = 1;
+      set_at_upper(enter, false);
+      set_at_upper(leaving_col, leave_at_upper);
+      basis_.pivot(leave, enter, w);
+      ++iterations_;
+      if (phase1) ++phase1_iterations_;
+      if (devex_ && !bland) update_primal_devex(rho, enter, leaving_col, w[leave]);
+    }
 
     const double objective = phase_objective(phase1);
     if (objective >= last_objective - tol) {
@@ -372,28 +581,53 @@ SolveStatus LpSolver::Core::run_dual(const SolverOptions& options) {
   bool bland = false;
   double last_infeasibility = std::numeric_limits<double>::infinity();
   std::vector<double> col(m_);
+  if (devex_) std::fill(dual_weights_.begin(), dual_weights_.end(), 1.0);
   while (true) {
     if (iterations_ >= max_iterations_) return SolveStatus::kIterationLimit;
     if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
 
-    // Leaving row: most negative basic value (Bland: first negative). The
-    // infeasibility sum always covers every row — it feeds the stall
-    // detector, which must not flap just because Bland picked an early row.
+    // Leaving row: a basic variable below its lower bound (leaves at lower)
+    // or above its finite upper bound (leaves at upper). Devex scores
+    // violation^2 / weight, Dantzig the raw violation, Bland the first
+    // violating row. The infeasibility sum always covers every row — it
+    // feeds the stall detector, which must not flap just because Bland
+    // picked an early row.
+    const auto& basic = basis_.basic();
     std::size_t leave = SIZE_MAX;
-    std::size_t first_negative = SIZE_MAX;
-    double most_negative = -kFeasTol;
+    bool above = false;
+    std::size_t first_violating = SIZE_MAX;
+    bool first_above = false;
+    double best_score = 0.0;
     double infeasibility = 0.0;
     for (std::size_t i = 0; i < m_; ++i) {
+      const double ub = upper_[basic[i]];
+      double delta;
+      bool is_above;
       if (xb_[i] < -kFeasTol) {
-        infeasibility -= xb_[i];
-        if (first_negative == SIZE_MAX) first_negative = i;
+        delta = -xb_[i];
+        is_above = false;
+      } else if (std::isfinite(ub) && xb_[i] > ub + kFeasTol) {
+        delta = xb_[i] - ub;
+        is_above = true;
+      } else {
+        continue;
       }
-      if (xb_[i] < most_negative) {
-        most_negative = xb_[i];
+      infeasibility += delta;
+      if (first_violating == SIZE_MAX) {
+        first_violating = i;
+        first_above = is_above;
+      }
+      const double score = (devex_ && !bland) ? delta * delta / dual_weights_[i] : delta;
+      if (leave == SIZE_MAX || score > best_score) {
+        best_score = score;
         leave = i;
+        above = is_above;
       }
     }
-    if (bland) leave = first_negative;
+    if (bland && first_violating != SIZE_MAX) {
+      leave = first_violating;
+      above = first_above;
+    }
     if (leave == SIZE_MAX) return SolveStatus::kOptimal;
 
     const std::vector<double> y = basis_.btran(basic_costs(/*phase1=*/false));
@@ -402,35 +636,41 @@ SolveStatus LpSolver::Core::run_dual(const SolverOptions& options) {
     // alpha = (row `leave` of B^-1) * A, per column.
     const std::vector<double>& rho = basis_.row(leave);
     std::vector<double> alpha(num_cols_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      const double r = rho[i];
-      if (r == 0.0) continue;
-      const std::vector<double>& row = rows_[i];
-      for (std::size_t j = 0; j < num_cols_; ++j) alpha[j] += r * row[j];
-    }
+    accumulate_vt_a(rho, 1.0, alpha);
 
-    // Dual ratio test over eligible columns (alpha < 0): the entering column
-    // minimises d_j / -alpha_j, keeping reduced costs non-negative. Ties are
-    // broken by pivot magnitude, or smallest index under Bland.
+    // Dual ratio test over both bound directions. sigma = +1 when the
+    // leaving variable exits at its lower bound (its basic value must rise),
+    // -1 when it exits at its upper bound. An at-lower column is eligible
+    // when sigma*alpha < 0 (it will increase), an at-upper column when
+    // sigma*alpha > 0 (it will decrease); either way the entering column
+    // minimises |d| / |alpha|, keeping dual feasibility. Ties are broken by
+    // pivot magnitude, or smallest index under Bland.
+    const double sigma = above ? -1.0 : 1.0;
     const auto pick_entering = [&](double pivot_tol) {
       std::size_t enter = SIZE_MAX;
       double best_ratio = std::numeric_limits<double>::infinity();
       double best_pivot = 0.0;
       for (std::size_t j = 0; j < num_cols_; ++j) {
         if (in_basis_[j] || artificial_[j]) continue;
-        const double a = alpha[j];
-        if (a >= -pivot_tol) continue;
-        const double ratio = std::max(0.0, d[j]) / -a;
+        const double a = sigma * alpha[j];
+        double ratio;
+        if (!at_upper_[j]) {
+          if (a >= -pivot_tol) continue;
+          ratio = std::max(0.0, d[j]) / -a;
+        } else {
+          if (a <= pivot_tol) continue;
+          ratio = std::max(0.0, -d[j]) / a;
+        }
         const double tie_band = 1e-9 * (1.0 + ratio);
         if (enter == SIZE_MAX || ratio < best_ratio - tie_band) {
           best_ratio = ratio;
           enter = j;
-          best_pivot = -a;
+          best_pivot = std::abs(a);
         } else if (ratio < best_ratio + tie_band) {
-          if (bland ? j < enter : -a > best_pivot) {
+          if (bland ? j < enter : std::abs(a) > best_pivot) {
             best_ratio = std::min(best_ratio, ratio);
             enter = j;
-            best_pivot = -a;
+            best_pivot = std::abs(a);
           }
         }
       }
@@ -440,8 +680,7 @@ SolveStatus LpSolver::Core::run_dual(const SolverOptions& options) {
     if (enter == SIZE_MAX) enter = pick_entering(tol);
     if (enter == SIZE_MAX) return SolveStatus::kInfeasible;
 
-    fill_column(enter, col);
-    const std::vector<double> w = basis_.ftran(col);
+    const std::vector<double> w = ftran_column(enter, col);
     if (std::abs(w[leave]) < tol) {
       // Numerical disagreement between alpha and the ftran column; refactor
       // and retry, giving up if it persists.
@@ -451,13 +690,20 @@ SolveStatus LpSolver::Core::run_dual(const SolverOptions& options) {
       continue;
     }
 
-    const double t = xb_[leave] / w[leave];
+    // The leaving basic moves to its violated bound; the entering variable
+    // absorbs the displacement from whichever bound it rested at.
+    const double target = above ? upper_[basic[leave]] : 0.0;
+    const double step = (xb_[leave] - target) / w[leave];
     for (std::size_t i = 0; i < m_; ++i) {
-      if (i != leave) xb_[i] -= t * w[i];
+      if (i != leave) xb_[i] -= step * w[i];
     }
-    xb_[leave] = t;
-    in_basis_[basis_.basic()[leave]] = 0;
+    const std::size_t leaving_col = basic[leave];
+    xb_[leave] = (at_upper_[enter] ? upper_[enter] : 0.0) + step;
+    in_basis_[leaving_col] = 0;
     in_basis_[enter] = 1;
+    set_at_upper(enter, false);
+    set_at_upper(leaving_col, above);
+    if (devex_ && !bland) update_dual_devex(w, leave);
     basis_.pivot(leave, enter, w);
     ++iterations_;
     ++dual_iterations_;
@@ -478,23 +724,20 @@ void LpSolver::Core::drive_out_artificials() {
   for (std::size_t i = 0; i < m_; ++i) {
     if (!artificial_[basic[i]]) continue;
     const std::vector<double>& rho = basis_.row(i);
-    // alpha_j = rho * A_j over non-artificial columns; pick the largest.
+    std::vector<double> alpha(num_cols_, 0.0);
+    accumulate_vt_a(rho, 1.0, alpha);
+    // Pick the largest structural |alpha| among at-lower nonbasic columns.
     std::size_t enter = SIZE_MAX;
     double best = 1e-8;
     for (std::size_t j = 0; j < num_cols_; ++j) {
-      if (in_basis_[j] || artificial_[j]) continue;
-      double alpha = 0.0;
-      for (std::size_t r = 0; r < m_; ++r) {
-        if (rho[r] != 0.0) alpha += rho[r] * rows_[r][j];
-      }
-      if (std::abs(alpha) > best) {
-        best = std::abs(alpha);
+      if (in_basis_[j] || artificial_[j] || at_upper_[j]) continue;
+      if (std::abs(alpha[j]) > best) {
+        best = std::abs(alpha[j]);
         enter = j;
       }
     }
     if (enter == SIZE_MAX) continue;  // redundant row; artificial stays ~0
-    fill_column(enter, col);
-    const std::vector<double> w = basis_.ftran(col);
+    const std::vector<double> w = ftran_column(enter, col);
     if (std::abs(w[i]) < 1e-10) continue;
     const double t = xb_[i] / w[i];
     for (std::size_t r = 0; r < m_; ++r) {
@@ -511,11 +754,14 @@ SolveStatus LpSolver::Core::finish_perturbed(const SolverOptions& options) {
   if (!perturbed_) return SolveStatus::kOptimal;
   b_ = b_exact_;
   perturbed_ = false;
-  if (!refactor()) return SolveStatus::kIterationLimit;
+  // B^-1 does not depend on the rhs, so no refactorisation is needed here —
+  // only the basic values move. refactor_if_due still bounds drift.
+  if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
   refresh_xb();
   bool feasible = true;
-  for (const double v : xb_) {
-    if (v < -kFeasTol) feasible = false;
+  const auto& basic = basis_.basic();
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (xb_[i] < -kFeasTol || xb_[i] > upper_[basic[i]] + kFeasTol) feasible = false;
   }
   if (feasible) return SolveStatus::kOptimal;
   // Restoring the exact rhs tightened the relaxed <= rows: the basis stays
@@ -525,9 +771,13 @@ SolveStatus LpSolver::Core::finish_perturbed(const SolverOptions& options) {
 
 SolveStatus LpSolver::Core::run_cold(const SolverOptions& options) {
   if (m_ == 0) {
-    // No constraints: y = 0 is optimal unless some column improves forever.
+    // No constraints: each column rests at whichever bound its cost prefers;
+    // a negative-cost column without a finite upper bound is unbounded.
     for (std::size_t j = 0; j < num_cols_; ++j) {
-      if (cost_[j] < -options.tolerance) return SolveStatus::kUnbounded;
+      if (cost_[j] < -options.tolerance) {
+        if (!std::isfinite(upper_[j])) return SolveStatus::kUnbounded;
+        set_at_upper(j, true);
+      }
     }
     return SolveStatus::kOptimal;
   }
@@ -542,9 +792,20 @@ SolveStatus LpSolver::Core::run_cold(const SolverOptions& options) {
   return finish_perturbed(options);
 }
 
-SolveStatus LpSolver::Core::run_warm_from(const Basis& prior, const SolverOptions& options) {
-  basis_ = prior;
+SolveStatus LpSolver::Core::run_warm_from(const Core& prior, const SolverOptions& options) {
+  basis_ = prior.basis_;
   rebuild_basis_flags();
+  // The nonbasic bound statuses are part of the vertex; restore them and
+  // re-establish the invariants that basic columns carry no at-upper flag
+  // and that at-upper columns still have a finite bound (a same-shaped model
+  // may have widened a bound to infinity — resting there would poison xb
+  // with non-finite values).
+  at_upper_ = prior.at_upper_;
+  num_at_upper_ = 0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (in_basis_[j] || !std::isfinite(upper_[j])) at_upper_[j] = 0;
+    if (at_upper_[j]) ++num_at_upper_;
+  }
   // The perturbation exists to help cold starts through degenerate phase-1
   // vertices; a warm start lands near the optimum, so reoptimise exactly.
   b_ = b_exact_;
@@ -553,8 +814,9 @@ SolveStatus LpSolver::Core::run_warm_from(const Basis& prior, const SolverOption
   refresh_xb();
 
   bool primal_feasible = true;
-  for (const double v : xb_) {
-    if (v < -kFeasTol) primal_feasible = false;
+  const auto& basic = basis_.basic();
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (xb_[i] < -kFeasTol || xb_[i] > upper_[basic[i]] + kFeasTol) primal_feasible = false;
   }
   if (primal_feasible) return run_primal(/*phase1=*/false, options);
 
@@ -563,7 +825,7 @@ SolveStatus LpSolver::Core::run_warm_from(const Basis& prior, const SolverOption
   bool dual_feasible = true;
   for (std::size_t j = 0; j < num_cols_; ++j) {
     if (in_basis_[j] || artificial_[j]) continue;
-    if (d[j] < -1e-7) dual_feasible = false;
+    if (at_upper_[j] ? d[j] > 1e-7 : d[j] < -1e-7) dual_feasible = false;
   }
   if (!dual_feasible) return SolveStatus::kIterationLimit;  // neither: cold start
   const SolveStatus status = run_dual(options);
@@ -589,10 +851,21 @@ void LpSolver::Core::append_row(const internal::StandardRow& row,
   // New slack column, basic in the new row.
   const std::size_t slack_col = num_cols_;
   coeffs[slack_col] = 1.0;
-  for (auto& r : rows_) r.push_back(0.0);
+  cols_.set_rows(m_ + 1);
+  for (std::size_t j = 0; j < n_struct_; ++j) cols_.add_entry(j, m_, coeffs[j]);
+  cols_.add_column();
+  cols_.add_entry(slack_col, m_, 1.0);
+  if (!sparse_) {
+    for (auto& r : dense_rows_) r.push_back(0.0);
+    dense_rows_.push_back(coeffs);
+  }
   cost_.push_back(0.0);
+  upper_.push_back(kInf);
   artificial_.push_back(0);
   in_basis_.push_back(1);
+  at_upper_.push_back(0);
+  primal_weights_.push_back(1.0);
+  dual_weights_.push_back(1.0);
   ++num_cols_;
 
   std::vector<double> row_basic(m_, 0.0);
@@ -600,7 +873,6 @@ void LpSolver::Core::append_row(const internal::StandardRow& row,
   for (std::size_t i = 0; i < m_; ++i) row_basic[i] = coeffs[basic[i]];
   basis_.append_row(row_basic, slack_col);
 
-  rows_.push_back(std::move(coeffs));
   relations_.push_back(Relation::kLessEqual);
   row_refs_.push_back(row.ref);
   b_.push_back(rhs);
@@ -614,7 +886,10 @@ void LpSolver::Core::append_row(const internal::StandardRow& row,
 
 SolveStatus LpSolver::Core::run_resolve(const SolverOptions& options) {
   iterations_ = phase1_iterations_ = dual_iterations_ = 0;
-  if (!refactor()) return SolveStatus::kIterationLimit;
+  // append_row() kept B^-1 exact, so the O(m^3) refactorisation is only due
+  // when the pivot counter says so; the basic values always need a refresh
+  // against the extended rhs.
+  if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
   refresh_xb();
   const SolveStatus status = run_dual(options);
   if (status != SolveStatus::kOptimal) return status;
@@ -625,9 +900,17 @@ SolveStatus LpSolver::Core::run_resolve(const SolverOptions& options) {
 
 void LpSolver::Core::extract(const LpModel& model, LpSolution& out) const {
   std::vector<double> column_values(num_cols_, 0.0);
+  if (num_at_upper_ != 0) {
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (at_upper_[j]) column_values[j] = upper_[j];
+    }
+  }
   const auto& basic = basis_.basic();
   for (std::size_t i = 0; i < m_; ++i) {
-    column_values[basic[i]] = std::max(0.0, xb_[i]);
+    double value = std::max(0.0, xb_[i]);
+    const double ub = upper_[basic[i]];
+    if (std::isfinite(ub)) value = std::min(value, ub);
+    column_values[basic[i]] = value;
   }
 
   out.values.assign(model.num_variables(), 0.0);
@@ -644,7 +927,7 @@ void LpSolver::Core::extract(const LpModel& model, LpSolution& out) const {
   out.duals.assign(model.num_constraints(), 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
     const internal::RowRef& ref = row_refs_[i];
-    if (ref.constraint == SIZE_MAX) continue;  // synthetic upper-bound row
+    if (ref.constraint == SIZE_MAX) continue;
     out.duals[ref.constraint] = skel_.sense_sign * ref.sign * y[i] * row_scale_[i];
   }
 
@@ -733,7 +1016,7 @@ LpSolution LpSolver::solve(const LpModel& model) {
     core->load(model_, options_);
     if (core->shape_matches(*previous)) {
       LpSolution solution;
-      solution.status = core->run_warm_from(previous->basis(), options_);
+      solution.status = core->run_warm_from(*previous, options_);
       stats_.total_iterations += core->iterations();
       if (solution.status == SolveStatus::kOptimal) {
         core->extract(model_, solution);

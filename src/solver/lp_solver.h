@@ -15,11 +15,17 @@
 //     the previous basis is refactorised against the new coefficients and
 //     reoptimised with primal or dual pivots instead of starting cold.
 //
-// The engine is a revised simplex (explicit dense basis inverse, see
-// basis.h). SolverOptions::algorithm == LpAlgorithm::kTableau degrades every
-// call to the reference full-tableau SimplexSolver (no warm starts), and the
-// revised path falls back to the tableau automatically whenever it fails to
-// reach a verified optimum; stats().tableau_fallbacks counts those.
+// The engine is a bounded-variable revised simplex (explicit dense basis
+// inverse, see basis.h): the constraint matrix is stored column-sparse
+// (sparse_matrix.h) so pricing passes iterate nonzeros only, finite variable
+// upper bounds live in the basis as nonbasic-at-upper statuses and bound
+// flips instead of synthetic rows, and entering/leaving choices use devex
+// reference weights (SolverOptions::pricing; Dantzig kept as the reference
+// rule, SolverOptions::sparse_pricing keeps the dense sweeps as a bench arm).
+// SolverOptions::algorithm == LpAlgorithm::kTableau degrades every call to
+// the reference full-tableau SimplexSolver (no warm starts), and the revised
+// path falls back to the tableau automatically whenever it fails to reach a
+// verified optimum; stats().tableau_fallbacks counts those.
 #pragma once
 
 #include <cstddef>

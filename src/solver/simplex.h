@@ -27,6 +27,14 @@ enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 /// tableau path is the battle-tested single-shot reference.
 enum class LpAlgorithm { kRevised, kTableau };
 
+/// Pricing rule of the revised engine (the tableau reference is always
+/// Dantzig). kDevex maintains approximate steepest-edge reference weights for
+/// both the primal entering choice and the dual leaving-row choice, which
+/// sharply cuts pivot counts on the degenerate envy/equality LPs; kDantzig
+/// (most negative reduced cost / most violated row) is kept as the reference
+/// rule. Stalling switches either rule to Bland's.
+enum class PricingRule { kDantzig, kDevex };
+
 struct SolverOptions {
   /// Feasibility / pricing tolerance.
   double tolerance = 1e-9;
@@ -43,6 +51,12 @@ struct SolverOptions {
   bool warm_start = true;
   /// Revised simplex: pivots between full basis refactorisations.
   std::size_t refactor_interval = 64;
+  /// Pricing rule of the revised engine.
+  PricingRule pricing = PricingRule::kDevex;
+  /// Revised engine: iterate constraint-matrix nonzeros (CSC columns) in the
+  /// pricing passes instead of dense rows. Identical pivots and results —
+  /// false keeps the dense reference arm for benchmarking.
+  bool sparse_pricing = true;
 };
 
 struct LpSolution {

@@ -7,13 +7,14 @@
 
 namespace oef::solver::internal {
 
-StandardForm build_standard_form(const LpModel& model) {
+StandardForm build_standard_form(const LpModel& model, bool native_upper_bounds) {
   StandardForm sf;
   const auto& vars = model.variables();
   sf.var_shift.assign(vars.size(), 0.0);
   sf.sense_sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
 
-  // Column layout per variable; upper bounds become extra rows afterwards.
+  // Column layout per variable; two-sided bounds become either a native
+  // column upper bound or an extra row afterwards.
   sf.cols_of_var.assign(vars.size(), {});
   struct UpperRow {
     std::size_t var;
@@ -30,18 +31,28 @@ StandardForm build_standard_form(const LpModel& model) {
       sf.var_shift[v] = var.lower;
       sf.columns.push_back({v, 1.0});
       sf.cols_of_var[v].push_back(sf.columns.size() - 1);
-      if (upper_finite) upper_rows.push_back({v, var.upper});
+      sf.col_upper.push_back(kInf);
+      if (upper_finite) {
+        if (native_upper_bounds) {
+          sf.col_upper.back() = var.upper - var.lower;
+        } else {
+          upper_rows.push_back({v, var.upper});
+        }
+      }
     } else if (upper_finite) {
       // x = upper - y, y >= 0.
       sf.var_shift[v] = var.upper;
       sf.columns.push_back({v, -1.0});
       sf.cols_of_var[v].push_back(sf.columns.size() - 1);
+      sf.col_upper.push_back(kInf);
     } else {
       // Free: x = y+ - y-.
       sf.columns.push_back({v, 1.0});
       sf.cols_of_var[v].push_back(sf.columns.size() - 1);
       sf.columns.push_back({v, -1.0});
       sf.cols_of_var[v].push_back(sf.columns.size() - 1);
+      sf.col_upper.push_back(kInf);
+      sf.col_upper.push_back(kInf);
     }
   }
 
@@ -155,6 +166,10 @@ void equilibrate(StandardForm& sf, std::vector<double>& row_scale,
     if (biggest > 0.0) col_scale[j] = 1.0 / biggest;
     for (std::size_t i = 0; i < m; ++i) sf.rows[i][j] *= col_scale[j];
     sf.cost[j] *= col_scale[j];
+    // Scaled column y' = y / col_scale, so a finite bound scales the same way.
+    if (j < sf.col_upper.size() && std::isfinite(sf.col_upper[j])) {
+      sf.col_upper[j] /= col_scale[j];
+    }
   }
 }
 

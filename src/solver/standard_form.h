@@ -2,11 +2,15 @@
 //
 // Both simplex engines (the full-tableau reference in simplex.cpp and the
 // revised-simplex LpSolver in lp_solver.cpp) operate on the same standard
-// form:  min c'y  s.t.  A y (<=|>=|=) b,  y >= 0,  with bookkeeping to undo
-// the variable transformations afterwards:
+// form:  min c'y  s.t.  A y (<=|>=|=) b,  0 <= y <= u,  with bookkeeping to
+// undo the variable transformations afterwards:
 //   * finite lower bounds are shifted away (x = y + lower),
 //   * upper-bound-only variables are reflected (x = upper - y),
-//   * two-sided bounds become an extra <= row,
+//   * two-sided bounds either become an extra <= row (the tableau reference,
+//     native_upper_bounds = false) or a finite column upper bound in
+//     col_upper handled natively by the bounded-variable simplex
+//     (native_upper_bounds = true — no synthetic row, so the basis stays at
+//     O(rows) instead of O(columns-with-bounds + rows)),
 //   * free variables are split (x = y+ - y-),
 //   * rows with negative rhs (and zero-rhs >= rows) are negated so every
 //     right-hand side is non-negative and zero-rhs rows start on a slack
@@ -44,11 +48,16 @@ struct StandardForm {
   std::vector<Relation> relations;
   std::vector<double> rhs;
   std::vector<RowRef> row_refs;
-  std::vector<double> cost;  // per column, minimisation sense
-  double sense_sign = 1.0;   // +1 if the model minimises, -1 if it maximises
+  std::vector<double> cost;       // per column, minimisation sense
+  std::vector<double> col_upper;  // per column; kInf unless native bounds
+  double sense_sign = 1.0;        // +1 if the model minimises, -1 if it maximises
 };
 
-[[nodiscard]] StandardForm build_standard_form(const LpModel& model);
+/// `native_upper_bounds` keeps two-sided variable bounds as finite col_upper
+/// entries for the bounded-variable simplex instead of emitting one synthetic
+/// <= row per bounded variable.
+[[nodiscard]] StandardForm build_standard_form(const LpModel& model,
+                                               bool native_upper_bounds = false);
 
 /// Converts one extra model constraint into a standard-form row against the
 /// columns of `sf` (the constraint may only reference variables that existed
@@ -68,7 +77,8 @@ struct StandardRow {
                                              bool normalize_rhs);
 
 /// Max-equilibration: rows then columns are scaled by the reciprocal of their
-/// largest absolute coefficient. Outputs the applied scales.
+/// largest absolute coefficient. Outputs the applied scales. Finite col_upper
+/// entries are rescaled to match (u' = u / col_scale).
 void equilibrate(StandardForm& sf, std::vector<double>& row_scale,
                  std::vector<double>& col_scale);
 

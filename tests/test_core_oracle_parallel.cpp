@@ -1,0 +1,116 @@
+// Determinism of the sharded envy-separation oracle: the cooperative OEF
+// allocator must produce identical results (allocation, row counts, round
+// counts) for every oracle thread count, because the per-user violation
+// scans are independent and the merge walks users in index order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/oef.h"
+#include "core/properties.h"
+#include "core/speedup_matrix.h"
+
+namespace oef::core {
+namespace {
+
+SpeedupMatrix random_matrix(common::Rng& rng, std::size_t n, std::size_t k) {
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) {
+    row.resize(k);
+    row[0] = 1.0;
+    for (std::size_t j = 1; j < k; ++j) row[j] = row[j - 1] * rng.uniform(1.05, 2.0);
+  }
+  return SpeedupMatrix(std::move(rows));
+}
+
+TEST(ParallelOracle, SameResultForEveryThreadCount) {
+  common::Rng rng(271828);
+  const std::size_t n = 48;
+  const std::size_t k = 3;
+  const SpeedupMatrix w = random_matrix(rng, n, k);
+  const std::vector<double> caps = {14.0, 20.0, 11.0};
+
+  AllocationResult reference;
+  bool have_reference = false;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{7}}) {
+    OefOptions options;
+    options.oracle_threads = threads;
+    const AllocationResult result = make_cooperative_oef(options).allocate(w, caps);
+    ASSERT_TRUE(result.ok()) << "threads " << threads;
+    if (!have_reference) {
+      reference = result;
+      have_reference = true;
+      continue;
+    }
+    // The oracle emits the same rows in the same order regardless of worker
+    // count, so the whole lazy trajectory — not just the optimum — matches.
+    EXPECT_EQ(result.lazy_rounds, reference.lazy_rounds) << "threads " << threads;
+    EXPECT_EQ(result.envy_rows_added, reference.envy_rows_added)
+        << "threads " << threads;
+    EXPECT_EQ(result.lp_iterations, reference.lp_iterations) << "threads " << threads;
+    ASSERT_EQ(result.allocation.num_users(), reference.allocation.num_users());
+    for (std::size_t l = 0; l < n; ++l) {
+      for (std::size_t j = 0; j < k; ++j) {
+        EXPECT_DOUBLE_EQ(result.allocation.at(l, j), reference.allocation.at(l, j))
+            << "threads " << threads << " user " << l << " type " << j;
+      }
+    }
+  }
+}
+
+TEST(ParallelOracle, WeightedInstanceIsThreadCountInvariant) {
+  common::Rng rng(31415);
+  const std::size_t n = 40;
+  const std::size_t k = 4;
+  const SpeedupMatrix w = random_matrix(rng, n, k);
+  const std::vector<double> caps = {9.0, 12.0, 7.0, 10.0};
+  std::vector<double> weights(n);
+  for (double& r : weights) r = rng.uniform(0.5, 3.0);
+
+  OefOptions serial_options;
+  serial_options.oracle_threads = 1;
+  const AllocationResult serial =
+      make_cooperative_oef(serial_options).allocate_weighted(w, weights, caps);
+  ASSERT_TRUE(serial.ok());
+
+  OefOptions parallel_options;
+  parallel_options.oracle_threads = 4;
+  const AllocationResult parallel =
+      make_cooperative_oef(parallel_options).allocate_weighted(w, weights, caps);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(parallel.lazy_rounds, serial.lazy_rounds);
+  EXPECT_EQ(parallel.envy_rows_added, serial.envy_rows_added);
+  EXPECT_DOUBLE_EQ(parallel.total_efficiency, serial.total_efficiency);
+}
+
+TEST(ParallelOracle, SolutionStaysEnvyFreeAndEfficient) {
+  // The dedupe/compaction machinery must not cost solution quality: the
+  // parallel-lazy answer matches the eager all-rows model and stays
+  // envy-free.
+  common::Rng rng(1618);
+  const std::size_t n = 24;
+  const std::size_t k = 3;
+  const SpeedupMatrix w = random_matrix(rng, n, k);
+  const std::vector<double> caps = {8.0, 10.0, 6.0};
+
+  OefOptions lazy_options;
+  lazy_options.oracle_threads = 3;
+  const AllocationResult lazy = make_cooperative_oef(lazy_options).allocate(w, caps);
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_TRUE(check_envy_freeness(w, lazy.allocation).envy_free)
+      << "worst violation "
+      << check_envy_freeness(w, lazy.allocation).worst_violation;
+
+  OefOptions eager_options;
+  eager_options.lazy_envy_constraints = false;
+  const AllocationResult eager = make_cooperative_oef(eager_options).allocate(w, caps);
+  ASSERT_TRUE(eager.ok());
+  EXPECT_NEAR(lazy.total_efficiency, eager.total_efficiency,
+              1e-5 * (1.0 + eager.total_efficiency));
+}
+
+}  // namespace
+}  // namespace oef::core
