@@ -1,15 +1,19 @@
-// Solver scaling sweep: cooperative OEF at n = 40..300 tenants under the
-// storage (sparse/dense) x pricing (devex/Dantzig) solver arms.
+// Solver scaling sweep: cooperative OEF at n = 40..1000 tenants under the
+// basis (factored LU / dense B^-1) x storage (sparse/dense) x pricing
+// (devex/Dantzig) solver arms.
 //
 // This is the perf trajectory the paper's Fig. 8 / Fig. 10a evaluation
-// needs: the cooperative sweep runs to n = 300 users, which is reachable
-// only with the sparse bounded-variable simplex. The dense+Dantzig arm is
-// the PR 1 configuration and is kept as the reference; it only runs at small
-// n (it is the point of comparison, not the product). All arms must agree on
-// the objective to 1e-6 — storage and pricing are pure optimisations.
+// needs: the cooperative sweep runs to n = 1000 users, which is reachable
+// only with the factored (sparse LU + eta file) basis on top of the sparse
+// bounded-variable simplex. The dense-B^-1 arm is the PR 2 configuration and
+// the dense-pricing + Dantzig arm the PR 1 configuration; both are kept as
+// references and only run at small n (they are the point of comparison, not
+// the product). All arms must agree on the objective to 1e-6 — basis,
+// storage and pricing are pure optimisations.
 //
 // Output: a human-readable table plus machine-readable BENCH_scaling.json
-// (one record per n x arm) so the perf trajectory is tracked across PRs.
+// (one record per n x arm; schema in docs/BENCHMARKS.md) so the perf
+// trajectory is tracked across PRs.
 //
 // Usage: bench_scaling [--max-n=N] [--output=PATH]
 //   --max-n=80 is the CI smoke configuration (wall-clock budgeted).
@@ -32,27 +36,39 @@ using namespace oef;
 
 struct ArmSpec {
   const char* name;
+  solver::BasisKind basis;
   bool sparse;
   solver::PricingRule pricing;
   std::size_t oracle_threads;  // 0 = auto (parallel), 1 = serial
-  /// Largest n this arm runs at (the dense reference arms are quadratically
-  /// slower — running them at n = 300 would turn the bench into a day job).
+  /// Largest n this arm runs at. The reference arms scale quadratically (or
+  /// worse) in the row count — running them at n = 1000 would turn the bench
+  /// into a day job.
   std::size_t max_n;
 };
 
 constexpr ArmSpec kArms[] = {
-    // The shipped configuration: sparse pricing + devex + parallel oracle.
-    {"sparse_devex", true, solver::PricingRule::kDevex, 0, 300},
-    {"sparse_devex_serial_oracle", true, solver::PricingRule::kDevex, 1, 150},
-    {"sparse_dantzig", true, solver::PricingRule::kDantzig, 0, 150},
-    {"dense_devex", false, solver::PricingRule::kDevex, 0, 80},
-    // PR 1 configuration: dense row sweeps, Dantzig pricing.
-    {"dense_dantzig", false, solver::PricingRule::kDantzig, 0, 80},
+    // The shipped configuration: factored LU basis + sparse pricing + devex +
+    // parallel oracle.
+    {"lu_sparse_devex", solver::BasisKind::kFactoredLu, true,
+     solver::PricingRule::kDevex, 0, 1000},
+    // PR 2 configuration: explicit dense B^-1, otherwise identical.
+    {"sparse_devex", solver::BasisKind::kDense, true, solver::PricingRule::kDevex, 0,
+     300},
+    {"lu_sparse_devex_serial_oracle", solver::BasisKind::kFactoredLu, true,
+     solver::PricingRule::kDevex, 1, 150},
+    {"sparse_dantzig", solver::BasisKind::kDense, true, solver::PricingRule::kDantzig,
+     0, 150},
+    {"dense_devex", solver::BasisKind::kDense, false, solver::PricingRule::kDevex, 0,
+     80},
+    // PR 1 configuration: dense row sweeps, Dantzig pricing, dense B^-1.
+    {"dense_dantzig", solver::BasisKind::kDense, false, solver::PricingRule::kDantzig,
+     0, 80},
 };
 
 struct RunRecord {
   std::size_t n = 0;
   std::string arm;
+  std::string basis;
   bool ok = false;
   double objective = 0.0;
   double wall_seconds = 0.0;
@@ -61,6 +77,7 @@ struct RunRecord {
   std::size_t lazy_rounds = 0;
   std::size_t envy_rows_added = 0;
   std::size_t envy_rows_dropped = 0;
+  std::size_t warm_compactions = 0;
   std::size_t lp_iterations = 0;
 };
 
@@ -83,6 +100,7 @@ RunRecord run_arm(std::size_t n, const ArmSpec& arm) {
   const std::vector<double> caps = {30.0, 40.0, 22.0};
 
   core::OefOptions options;
+  options.solver.basis_kind = arm.basis;
   options.solver.sparse_pricing = arm.sparse;
   options.solver.pricing = arm.pricing;
   options.oracle_threads = arm.oracle_threads;
@@ -96,6 +114,7 @@ RunRecord run_arm(std::size_t n, const ArmSpec& arm) {
   RunRecord record;
   record.n = n;
   record.arm = arm.name;
+  record.basis = arm.basis == solver::BasisKind::kFactoredLu ? "factored_lu" : "dense";
   record.ok = result.ok();
   record.objective = result.total_efficiency;
   record.wall_seconds = wall;
@@ -104,6 +123,7 @@ RunRecord run_arm(std::size_t n, const ArmSpec& arm) {
   record.lazy_rounds = result.lazy_rounds;
   record.envy_rows_added = result.envy_rows_added;
   record.envy_rows_dropped = result.envy_rows_dropped;
+  record.warm_compactions = result.warm_compactions;
   record.lp_iterations = result.lp_iterations;
   return record;
 }
@@ -118,14 +138,16 @@ void write_json(const std::vector<RunRecord>& records, const std::string& path) 
   for (std::size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
     std::fprintf(out,
-                 "    {\"n\": %zu, \"arm\": \"%s\", \"ok\": %s, "
+                 "    {\"n\": %zu, \"arm\": \"%s\", \"basis\": \"%s\", \"ok\": %s, "
                  "\"objective\": %.9f, \"wall_seconds\": %.6f, "
                  "\"solver_seconds\": %.6f, \"oracle_seconds\": %.6f, "
                  "\"lazy_rounds\": %zu, \"envy_rows_added\": %zu, "
-                 "\"envy_rows_dropped\": %zu, \"lp_iterations\": %zu}%s\n",
-                 r.n, r.arm.c_str(), r.ok ? "true" : "false", r.objective,
-                 r.wall_seconds, r.solver_seconds, r.oracle_seconds, r.lazy_rounds,
-                 r.envy_rows_added, r.envy_rows_dropped, r.lp_iterations,
+                 "\"envy_rows_dropped\": %zu, \"warm_compactions\": %zu, "
+                 "\"lp_iterations\": %zu}%s\n",
+                 r.n, r.arm.c_str(), r.basis.c_str(), r.ok ? "true" : "false",
+                 r.objective, r.wall_seconds, r.solver_seconds, r.oracle_seconds,
+                 r.lazy_rounds, r.envy_rows_added, r.envy_rows_dropped,
+                 r.warm_compactions, r.lp_iterations,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -136,7 +158,7 @@ void write_json(const std::vector<RunRecord>& records, const std::string& path) 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t max_n = 300;
+  std::size_t max_n = 1000;
   std::string output = "BENCH_scaling.json";
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--max-n=", 8) == 0) {
@@ -151,9 +173,9 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Scaling: cooperative OEF sweep, solver arms",
-      "sparse bounded-variable simplex + devex unlocks the n=300 sweep");
+      "factored LU basis + sparse simplex + devex unlocks the n=1000 sweep");
 
-  const std::size_t sweep[] = {40, 80, 150, 300};
+  const std::size_t sweep[] = {40, 80, 150, 300, 600, 1000};
   std::vector<RunRecord> records;
   common::Table table({"n", "arm", "wall (s)", "solver (s)", "oracle (s)", "rounds",
                        "rows", "pivots", "objective"});
@@ -203,27 +225,44 @@ int main(int argc, char** argv) {
     }
     return nullptr;
   };
-  const RunRecord* fast = find(80, "sparse_devex");
+  const RunRecord* fast = find(80, "lu_sparse_devex");
   const RunRecord* slow = find(80, "dense_dantzig");
   const RunRecord* dantzig = find(80, "sparse_dantzig");
   if (fast != nullptr && slow != nullptr) {
     const double speedup = slow->wall_seconds / std::max(1e-9, fast->wall_seconds);
-    std::printf("  n=80 sparse+devex vs dense+dantzig (PR 1 config): %.1fx\n", speedup);
-    bench::print_check("n=80 sparse+devex >= 3x faster than the PR 1 dense configuration",
-                       speedup >= 3.0);
+    std::printf("  n=80 lu+sparse+devex vs dense+dantzig (PR 1 config): %.1fx\n",
+                speedup);
+    bench::print_check(
+        "n=80 lu+sparse+devex >= 3x faster than the PR 1 dense configuration",
+        speedup >= 3.0);
     // Sub-second wall clocks are noisy on shared CI runners, so the exit
     // code only gates on a 2x regression floor; the 3x target above is
     // reported but advisory. The pivot-count check is fully deterministic.
-    check("n=80 sparse+devex >= 2x faster than dense+dantzig (CI floor)",
+    check("n=80 lu+sparse+devex >= 2x faster than dense+dantzig (CI floor)",
           speedup >= 2.0);
   }
-  if (fast != nullptr && dantzig != nullptr) {
+  // Pricing-rule comparison on matched basis kind (both dense-B^-1 arms), so
+  // the deterministic pivot-count check isolates devex vs Dantzig.
+  const RunRecord* devex_matched = find(80, "sparse_devex");
+  if (devex_matched != nullptr && dantzig != nullptr) {
     check("n=80 devex needs fewer pivots than Dantzig",
-          fast->lp_iterations < dantzig->lp_iterations);
+          devex_matched->lp_iterations < dantzig->lp_iterations);
   }
-  const RunRecord* top = find(300, "sparse_devex");
+  const RunRecord* lu300 = find(300, "lu_sparse_devex");
+  const RunRecord* dense300 = find(300, "sparse_devex");
   if (max_n >= 300) {
-    check("n=300 cooperative sweep completed", top != nullptr && top->ok);
+    check("n=300 cooperative sweep completed", lu300 != nullptr && lu300->ok);
+    if (lu300 != nullptr && dense300 != nullptr) {
+      const double speedup =
+          dense300->wall_seconds / std::max(1e-9, lu300->wall_seconds);
+      std::printf("  n=300 factored LU vs dense B^-1 basis: %.1fx\n", speedup);
+      check("n=300 factored basis faster than the PR 2 dense-B^-1 arm",
+            lu300->wall_seconds < dense300->wall_seconds);
+    }
+  }
+  if (max_n >= 1000) {
+    const RunRecord* top = find(1000, "lu_sparse_devex");
+    check("n=1000 cooperative sweep completed", top != nullptr && top->ok);
   }
 
   write_json(records, output);

@@ -433,6 +433,8 @@ AllocationResult OefAllocator::solve_cooperative(
   result.lazy_rounds = lazy_result.rounds;
   result.envy_rows_added = lazy_result.rows_added;
   result.envy_rows_dropped = lazy_result.rows_dropped;
+  result.compactions = lazy_result.compactions;
+  result.warm_compactions = lazy_result.warm_compactions;
   result.warm_rounds = lazy_result.warm_rounds;
   result.cold_lp_iterations = lazy_result.cold_iterations;
   result.warm_lp_iterations = lazy_result.warm_iterations;

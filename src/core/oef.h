@@ -84,6 +84,10 @@ struct AllocationResult {
   std::size_t envy_rows_added = 0;
   /// Envy rows dropped again by relaxation compaction.
   std::size_t envy_rows_dropped = 0;
+  /// Relaxation compactions, and how many kept the basis warm (rows excised
+  /// in place instead of a cold reload of the shrunken model).
+  std::size_t compactions = 0;
+  std::size_t warm_compactions = 0;
   /// Lazy rounds >= 2 completed by a warm dual-simplex resolve, and the
   /// pivot split between cold solves and warm resolves.
   std::size_t warm_rounds = 0;

@@ -1,74 +1,143 @@
-// Simplex basis abstraction: the set of basic columns plus an explicit dense
-// inverse of the basis matrix, maintained across pivots.
+// Simplex basis abstraction: the set of basic columns plus a representation
+// of B^-1 maintained across pivots.
 //
 // The revised simplex in lp_solver.cpp keeps the constraint matrix A fixed
 // and represents the current vertex entirely through this object: solves with
-// B^-1 (ftran/btran), rank-one pivot updates, periodic refactorisation to
-// bound numerical drift, and O(m^2) expansion when a constraint row is
-// appended — the operation that makes warm-started row generation cheap.
-// Dense is the right trade-off here: the allocation LPs are small (hundreds
-// of rows) and dense, so a product-form or LU factorisation would not pay.
+// B^-1 (ftran/btran), per-pivot updates, periodic refactorisation to bound
+// numerical drift, cheap expansion when a constraint row is appended, and
+// warm row deletion — the operations that make warm-started row generation
+// (and relaxation compaction) cheap.
+//
+// Two interchangeable representations exist behind SolverOptions::basis_kind:
+//
+//   * BasisKind::kDense — the explicit dense B^-1 with O(m^2) rank-one pivot
+//     updates and O(m^2) row appends. Exact after every operation; kept as
+//     the pivot-identical reference arm and the right trade-off for small
+//     dense LPs.
+//   * BasisKind::kFactoredLu — a sparse LU factorisation of B (left-looking
+//     Gilbert–Peierls elimination with threshold partial pivoting and a
+//     static Markowitz-style sparsest-row tie-break) plus a product-form eta
+//     file, one eta per pivot. ftran/btran become sparse triangular + eta
+//     solves that skip zero intermediates, so the per-pivot cost is O(nnz)
+//     instead of O(m^2); appending a row is a bordered update (one sparse
+//     U^T solve) instead of an O(m^2) inverse extension. Refactorisation is
+//     triggered by eta-file length / fill growth rather than a fixed pivot
+//     count. This is what unlocks the n ~ 1000 cooperative sweep (m ~ 16k
+//     envy rows), where the dense update dominated.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "solver/sparse_matrix.h"
 
 namespace oef::solver {
 
+/// Basis representation of the revised simplex (see file comment).
+enum class BasisKind { kDense, kFactoredLu };
+
+namespace internal {
+class BasisImpl;
+}  // namespace internal
+
+/// Value-semantic handle over one basis representation. Copying clones the
+/// underlying factorisation, which is what warm starts across solver cores
+/// rely on.
 class Basis {
  public:
+  explicit Basis(BasisKind kind = BasisKind::kFactoredLu);
+  ~Basis();
+  Basis(const Basis& other);
+  Basis& operator=(const Basis& other);
+  Basis(Basis&&) noexcept;
+  Basis& operator=(Basis&&) noexcept;
+
+  [[nodiscard]] BasisKind kind() const;
+
   /// Number of rows (== number of basic columns).
-  [[nodiscard]] std::size_t size() const { return basic_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
-  /// Column index basic in each row.
-  [[nodiscard]] const std::vector<std::size_t>& basic() const { return basic_; }
+  /// Column index basic in each row position.
+  [[nodiscard]] const std::vector<std::size_t>& basic() const;
 
-  /// Installs a basic set without factorising; call refactor() before any
-  /// ftran/btran. Resets the pivot counter.
+  /// Installs a basic set and an identity representation of B^-1; valid
+  /// as-is only when the basis matrix actually is the identity (the all-slack
+  /// / all-artificial start), otherwise call refactor() before any solve.
+  /// Resets the pivot counter and the eta file.
   void set_basic(std::vector<std::size_t> basic);
 
-  /// Recomputes B^-1 from scratch. `column(j, out)` must fill `out` (size m)
-  /// with column j of the constraint matrix. Returns false when the basis
-  /// matrix is numerically singular (the previous inverse is left in place).
-  [[nodiscard]] bool refactor(
-      const std::function<void(std::size_t col, std::vector<double>& out)>& column);
+  /// Recomputes the representation of B^-1 from scratch against `columns`
+  /// (the full constraint matrix; the basic set selects which columns form
+  /// B). Returns false when the basis matrix is numerically singular — the
+  /// previous representation is then unusable and the caller must recover
+  /// (cold solve / tableau fallback).
+  [[nodiscard]] bool refactor(const SparseMatrix& columns);
 
-  /// w = B^-1 a.
+  /// True when the representation is due for a refactorisation. The dense
+  /// basis uses the classic pivot-count rule (>= max(interval_floor, m)
+  /// pivots since the last refactor); the factored basis triggers on eta-file
+  /// growth instead: eta count >= interval_floor, or eta nonzeros exceeding
+  /// `fill_growth` x (LU nonzeros + m).
+  [[nodiscard]] bool refactor_due(std::size_t interval_floor, double fill_growth) const;
+
+  /// w = B^-1 a (a indexed by constraint row, w by basis position).
   [[nodiscard]] std::vector<double> ftran(const std::vector<double>& a) const;
 
-  /// w = B^-1 a for a sparse a (entries of one constraint-matrix column):
-  /// O(m * nnz) instead of O(m^2), which is what makes per-pivot column
-  /// solves cheap for the narrow envy/capacity columns.
+  /// w = B^-1 a for a sparse a (entries of one constraint-matrix column).
   [[nodiscard]] std::vector<double> ftran(const std::vector<SparseEntry>& a) const;
 
-  /// y^T = c_B^T B^-1 (one entry per row).
+  /// y^T = c_B^T B^-1 (cb indexed by basis position, y by constraint row).
   [[nodiscard]] std::vector<double> btran(const std::vector<double>& cb) const;
 
-  /// Row r of B^-1 (== e_r^T B^-1), used for the dual-simplex pivot row.
-  [[nodiscard]] const std::vector<double>& row(std::size_t r) const { return binv_[r]; }
+  /// Row `pos` of B^-1 (== e_pos^T B^-1), used for the dual-simplex pivot row
+  /// and the devex reference updates.
+  [[nodiscard]] std::vector<double> btran_unit(std::size_t pos) const;
 
-  /// Applies the pivot (leave_row, enter_col) as a rank-one update of B^-1.
-  /// `ftran_col` must be B^-1 A_enter as returned by ftran().
+  /// Applies the pivot (leave_row, enter_col). `ftran_col` must be
+  /// B^-1 A_enter as returned by ftran(). Dense: rank-one inverse update;
+  /// factored: appends one eta to the product-form file.
   void pivot(std::size_t leave_row, std::size_t enter_col,
              const std::vector<double>& ftran_col);
 
   /// Extends the basis for one appended constraint row whose slack column
   /// (index `slack_col`) becomes basic in the new row. `row_basic_coeffs`
-  /// holds the new row's coefficient on each current basic column, in row
-  /// order. Keeps B^-1 exact: the new inverse is
-  ///   [ B^-1              0 ]
-  ///   [ -a_B^T B^-1       1 ].
+  /// holds the new row's coefficient on each current basic column, in
+  /// position order. Keeps the representation exact: the dense inverse gains
+  /// the bordered block -a_B^T B^-1, the factored basis a bordered L row
+  /// (one sparse U^T solve).
   void append_row(const std::vector<double>& row_basic_coeffs, std::size_t slack_col);
 
-  [[nodiscard]] std::size_t pivots_since_refactor() const { return pivots_since_refactor_; }
+  /// Warm row deletion: removes the basic `positions` and the constraint
+  /// `rows` (both sorted ascending, same length; position i must hold a unit
+  /// column of row i's constraint so B stays nonsingular — the caller
+  /// verifies this) and renumbers the surviving basic columns through
+  /// `col_remap`. Returns true when the representation is still valid
+  /// afterwards (dense: the reduced inverse is the complementary submatrix);
+  /// false when the caller must refactor() before the next solve (factored).
+  [[nodiscard]] bool delete_rows(const std::vector<std::size_t>& positions,
+                                 const std::vector<std::size_t>& rows,
+                                 const std::vector<std::size_t>& col_remap);
+
+  [[nodiscard]] std::size_t pivots_since_refactor() const;
+
+  /// Diagnostic: stored entries of the current representation (dense: m^2;
+  /// factored: LU + eta-file nonzeros). Used by the refactor policy and
+  /// the factored-basis tests.
+  [[nodiscard]] std::size_t factor_entries() const;
+
+  /// After a failed refactor(): the (basis position, constraint row) pairs
+  /// the factorisation could not pivot. Accumulated update drift can let the
+  /// simplex adopt an entering column the true basis does not admit; the
+  /// solver repairs such deficiencies by patching each listed position with
+  /// a unit column of the listed row and refactorising again, instead of
+  /// abandoning the solve. Always empty for the dense representation.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>& deficiency()
+      const;
 
  private:
-  std::vector<std::size_t> basic_;
-  std::vector<std::vector<double>> binv_;
-  std::size_t pivots_since_refactor_ = 0;
+  std::unique_ptr<internal::BasisImpl> impl_;
 };
 
 }  // namespace oef::solver

@@ -61,34 +61,36 @@ LazySolveResult LazyConstraintSolver::solve(LpSolver& solver, LpModel& model,
 
     if (compaction_ && max_rows_ > 0 &&
         model.num_constraints() + violated.size() > max_rows_) {
-      // Rebuild the relaxation: permanent prefix + rows binding at the
-      // current optimum + the new violations, dropping everything loose.
+      // Shrink the relaxation: drop every row past the permanent prefix that
+      // is loose at the current optimum. A loose row's slack is basic, so
+      // the solver can excise the rows while the factorised basis, vertex
+      // and duals survive — the new violations then append onto the warm
+      // basis as usual. If the in-place excision is refused the loop falls
+      // back to the original behaviour: reload the shrunken model cold.
       OEF_CHECK(permanent_rows_ <= model.num_constraints());
-      LpModel compacted(model.sense());
-      for (const Variable& var : model.variables()) {
-        compacted.add_variable(var.name, var.lower, var.upper, var.objective);
-      }
       const auto& constraints = model.constraints();
-      std::size_t dropped = 0;
-      for (std::size_t c = 0; c < constraints.size(); ++c) {
-        if (c >= permanent_rows_ &&
-            constraint_slack(constraints[c], result.solution.values) >
-                compaction_slack_tol_) {
-          ++dropped;
-          continue;
+      std::vector<std::size_t> drop;
+      for (std::size_t c = permanent_rows_; c < constraints.size(); ++c) {
+        if (constraint_slack(constraints[c], result.solution.values) >
+            compaction_slack_tol_) {
+          drop.push_back(c);
         }
-        compacted.add_constraint(constraints[c]);
       }
-      for (Constraint& constraint : violated) {
-        compacted.add_constraint(std::move(constraint));
+      if (!drop.empty()) {
+        ++result.compactions;
+        const bool warm = solver.delete_rows(drop);
+        model.remove_constraints(drop);
+        if (warm) {
+          ++result.warm_compactions;
+        } else {
+          cold_reload = true;
+        }
+        result.rows_dropped += drop.size();
+        common::log_debug("lazy solver: round " + std::to_string(result.rounds) +
+                          " compacted relaxation (" + (warm ? "warm" : "cold") +
+                          "), dropped " + std::to_string(drop.size()) + " rows (" +
+                          std::to_string(model.num_constraints()) + " remain)");
       }
-      model = std::move(compacted);
-      result.rows_dropped += dropped;
-      cold_reload = true;
-      common::log_debug("lazy solver: round " + std::to_string(result.rounds) +
-                        " compacted relaxation, dropped " + std::to_string(dropped) +
-                        " rows (" + std::to_string(model.num_constraints()) + " remain)");
-      continue;
     }
 
     // Keep the caller's model in sync with the solver's internal copy.

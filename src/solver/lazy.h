@@ -37,6 +37,11 @@ struct LazySolveResult {
   std::size_t rows_added = 0;
   /// Rows dropped again by relaxation compaction (see enable_compaction).
   std::size_t rows_dropped = 0;
+  /// Relaxation compactions performed, and how many of them kept the basis
+  /// warm (rows excised in place via LpSolver::delete_rows) instead of
+  /// forcing a cold reload of the shrunken model.
+  std::size_t compactions = 0;
+  std::size_t warm_compactions = 0;
   /// True when the final solution satisfies the oracle.
   bool converged = false;
   /// Rounds >= 2 completed by a warm (dual-simplex) resolve.
@@ -58,12 +63,16 @@ class LazyConstraintSolver {
 
   /// Enables relaxation compaction. Generated rows are transient: a row that
   /// cut off an early relaxed optimum is usually slack a few rounds later,
-  /// yet it inflates the basis (and every O(m^2) solver operation) for the
-  /// rest of the session. With compaction on, whenever the working model
+  /// yet it inflates the basis (and every per-pivot solver operation) for
+  /// the rest of the session. With compaction on, whenever the working model
   /// would exceed `max_rows` constraints, every row past the first
   /// `permanent_rows` whose slack at the current optimum exceeds `slack_tol`
-  /// is dropped and the shrunken model is re-solved. Dropped rows that
-  /// become violated again are simply re-separated by the oracle.
+  /// is dropped. A loose row's slack is basic, so LpSolver::delete_rows can
+  /// excise the rows while the basis and vertex survive — the loop continues
+  /// with a warm dual-simplex resolve instead of the cold re-solve that
+  /// compaction used to force (the cold reload remains as the fallback).
+  /// Dropped rows that become violated again are simply re-separated by the
+  /// oracle.
   void enable_compaction(std::size_t permanent_rows, std::size_t max_rows,
                          double slack_tol = 1e-5) {
     permanent_rows_ = permanent_rows;

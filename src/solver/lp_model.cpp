@@ -45,6 +45,24 @@ std::size_t LpModel::add_constraint(LinearExpr expr, Relation relation, double r
   return add_constraint(Constraint{std::move(expr), relation, rhs, std::move(name)});
 }
 
+void LpModel::remove_constraints(const std::vector<std::size_t>& sorted_indices) {
+  if (sorted_indices.empty()) return;
+  std::vector<Constraint> kept;
+  OEF_CHECK(sorted_indices.size() <= constraints_.size());
+  kept.reserve(constraints_.size() - sorted_indices.size());
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < constraints_.size(); ++c) {
+    if (next < sorted_indices.size() && sorted_indices[next] == c) {
+      ++next;
+      continue;
+    }
+    kept.push_back(std::move(constraints_[c]));
+  }
+  OEF_CHECK_MSG(next == sorted_indices.size(),
+                "remove_constraints indices must be sorted, unique and in range");
+  constraints_ = std::move(kept);
+}
+
 double LpModel::objective_value(const std::vector<double>& values) const {
   OEF_CHECK(values.size() == variables_.size());
   double acc = 0.0;

@@ -79,6 +79,11 @@ class LpModel {
   std::size_t add_constraint(LinearExpr expr, Relation relation, double rhs,
                              std::string name = {});
 
+  /// Removes the constraints at `sorted_indices` (ascending, unique);
+  /// surviving constraints keep their relative order and renumber down.
+  /// Mirrors LpSolver::delete_rows on the solver side.
+  void remove_constraints(const std::vector<std::size_t>& sorted_indices);
+
   [[nodiscard]] std::size_t num_variables() const { return variables_.size(); }
   [[nodiscard]] std::size_t num_constraints() const { return constraints_.size(); }
   [[nodiscard]] const std::vector<Variable>& variables() const { return variables_; }

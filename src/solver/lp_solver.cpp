@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "solver/basis.h"
 #include "solver/sparse_matrix.h"
 #include "solver/standard_form.h"
@@ -72,8 +74,19 @@ class LpSolver::Core {
   }
 
   /// Appends one inequality row (already <=-normalised by build_standard_row)
-  /// with a fresh basic slack. Keeps B^-1 exact.
+  /// with a fresh basic slack. Keeps the basis representation exact.
   void append_row(const internal::StandardRow& row, const SolverOptions& options);
+
+  /// Warm row deletion: excises the given standard rows (== model constraint
+  /// indices, sorted ascending) together with their slack/artificial columns
+  /// while keeping the basic set — the dropped rows' unit columns must be
+  /// basic (true for rows strictly loose at the current vertex), so the
+  /// remaining basis stays nonsingular, the surviving basic values are
+  /// untouched and the vertex stays optimal for the reduced model. Returns
+  /// false (leaving this core unusable) when some row has no basic unit
+  /// column or the reduced basis fails to refactorise.
+  [[nodiscard]] bool delete_rows(const std::vector<std::size_t>& rows,
+                                 const SolverOptions& options);
 
   /// Dual-simplex reoptimisation from the current basis (after append_row).
   [[nodiscard]] SolveStatus run_resolve(const SolverOptions& options);
@@ -120,6 +133,9 @@ class LpSolver::Core {
   std::vector<std::vector<double>> dense_rows_;  // reference arm only (sparse_ off)
   std::vector<Relation> relations_;              // normalised, per row
   std::vector<internal::RowRef> row_refs_;
+  // Per row: the unit (slack/surplus/artificial) column ids created for it —
+  // the columns that must go with the row on warm deletion.
+  std::vector<std::vector<std::size_t>> row_units_;
   std::vector<double> b_;        // working rhs (scaled, possibly perturbed)
   std::vector<double> b_exact_;  // exact scaled rhs
   std::vector<double> row_scale_;
@@ -208,12 +224,14 @@ void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
   }
 
   std::vector<std::size_t> initial_basis(m_);
+  row_units_.assign(m_, {});
   std::size_t next_slack = n_struct_;
   std::size_t next_artificial = n_struct_ + num_slack;
   for (std::size_t i = 0; i < m_; ++i) {
     const auto set_unit = [&](std::size_t col, double value) {
       cols_.add_entry(col, i, value);
       if (!sparse_) dense_rows_[i][col] = value;
+      row_units_[i].push_back(col);
     };
     switch (sf.relations[i]) {
       case Relation::kLessEqual:
@@ -261,6 +279,7 @@ void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
   skel_.relations.clear();
   skel_.row_refs.clear();
 
+  basis_ = Basis(options.basis_kind);
   basis_.set_basic(std::move(initial_basis));
   for (const std::size_t j : basis_.basic()) in_basis_[j] = 1;
   xb_ = b_;
@@ -301,20 +320,55 @@ void LpSolver::Core::accumulate_vt_a(const std::vector<double>& v, double factor
 }
 
 bool LpSolver::Core::refactor() {
-  return basis_.refactor(
-      [this](std::size_t col, std::vector<double>& out) { fill_column(col, out); });
+  if (basis_.refactor(cols_)) return true;
+  // Basis repair. A refactorisation can come up deficient when accumulated
+  // update drift let a pivot adopt a column the true basis does not admit
+  // (the computed pivot element was noise). Patch every deficient position
+  // with a unit (slack/artificial) column of its uncovered row — which
+  // restores structural nonsingularity — and refactorise again; the evicted
+  // columns become nonbasic at lower bound and the caller's refresh/phase
+  // logic re-establishes the vertex. The dense representation reports no
+  // deficiency, keeping the reference arm's behaviour unchanged.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto& deficiency = basis_.deficiency();
+    if (deficiency.empty()) return false;
+    std::vector<std::size_t> patched = basis_.basic();
+    std::size_t repairs = 0;
+    for (const auto& [pos, row] : deficiency) {
+      for (const std::size_t c : row_units_[row]) {
+        if (!in_basis_[c]) {
+          patched[pos] = c;
+          in_basis_[c] = 1;  // consumed; rebuilt below either way
+          ++repairs;
+          break;
+        }
+      }
+    }
+    if (repairs == 0) {
+      rebuild_basis_flags();
+      return false;
+    }
+    common::log_debug("lp_solver: repaired " + std::to_string(repairs) +
+                      " deficient basis position(s) with unit columns");
+    basis_.set_basic(std::move(patched));
+    rebuild_basis_flags();
+    if (basis_.refactor(cols_)) return true;
+  }
+  rebuild_basis_flags();
+  return false;
 }
 
 bool LpSolver::Core::refactor_if_due(const SolverOptions& options) {
-  // Adaptive interval: a refactorisation costs O(m^3) while a pivot update
-  // costs O(m^2), so spacing refactorisations at least m pivots apart keeps
-  // the amortised refactor cost at one pivot's worth. options.refactor_interval
-  // acts as the small-problem floor. Drift between refactorisations is
-  // bounded by the dual path's alpha/ftran agreement check and the final
-  // is_feasible verification (which falls back to the tableau on failure).
-  const std::size_t interval =
-      std::max<std::size_t>(std::max<std::size_t>(1, options.refactor_interval), m_);
-  if (basis_.pivots_since_refactor() < interval) return true;
+  // The trigger policy lives in the basis representation: the dense B^-1
+  // refactorises every max(refactor_interval, m) pivots (amortising the
+  // O(m^3) rebuild against O(m^2) updates), the factored LU when its eta
+  // file outgrows the fresh factor (length or fill). Drift between
+  // refactorisations is bounded by the dual path's alpha/ftran agreement
+  // check and the final is_feasible verification (which falls back to the
+  // tableau on failure).
+  if (!basis_.refactor_due(options.refactor_interval, options.refactor_fill_growth)) {
+    return true;
+  }
   if (!refactor()) return false;
   refresh_xb();
   return true;
@@ -547,7 +601,7 @@ SolveStatus LpSolver::Core::run_primal(bool phase1, const SolverOptions& options
       if (phase1) ++phase1_iterations_;
     } else {
       std::vector<double> rho;
-      if (devex_ && !bland) rho = basis_.row(leave);  // pre-pivot copy
+      if (devex_ && !bland) rho = basis_.btran_unit(leave);  // pre-pivot copy
       const double t = best_ratio;
       for (std::size_t i = 0; i < m_; ++i) {
         if (i != leave) xb_[i] -= t * dir * w[i];
@@ -634,7 +688,7 @@ SolveStatus LpSolver::Core::run_dual(const SolverOptions& options) {
     const std::vector<double> d = reduced_costs(y, /*phase1=*/false);
 
     // alpha = (row `leave` of B^-1) * A, per column.
-    const std::vector<double>& rho = basis_.row(leave);
+    const std::vector<double> rho = basis_.btran_unit(leave);
     std::vector<double> alpha(num_cols_, 0.0);
     accumulate_vt_a(rho, 1.0, alpha);
 
@@ -723,7 +777,7 @@ void LpSolver::Core::drive_out_artificials() {
   std::vector<double> col(m_);
   for (std::size_t i = 0; i < m_; ++i) {
     if (!artificial_[basic[i]]) continue;
-    const std::vector<double>& rho = basis_.row(i);
+    const std::vector<double> rho = basis_.btran_unit(i);
     std::vector<double> alpha(num_cols_, 0.0);
     accumulate_vt_a(rho, 1.0, alpha);
     // Pick the largest structural |alpha| among at-lower nonbasic columns.
@@ -875,6 +929,7 @@ void LpSolver::Core::append_row(const internal::StandardRow& row,
 
   relations_.push_back(Relation::kLessEqual);
   row_refs_.push_back(row.ref);
+  row_units_.push_back({slack_col});
   b_.push_back(rhs);
   b_exact_.push_back(rhs);
   row_scale_.push_back(rscale);
@@ -884,11 +939,154 @@ void LpSolver::Core::append_row(const internal::StandardRow& row,
                                                 : 200 * (m_ + num_cols_) + 10000;
 }
 
+bool LpSolver::Core::delete_rows(const std::vector<std::size_t>& rows,
+                                 const SolverOptions& options) {
+  if (rows.empty()) return true;
+
+  // Every deleted row must be covered by a basic unit column of its own
+  // (slack, surplus or artificial): that is what keeps the reduced basis
+  // nonsingular and the surviving basic values untouched. A loose row always
+  // qualifies — its positive slack is basic — so the compaction path never
+  // fails here; checked up front so failure leaves the core unmodified.
+  std::vector<std::size_t> pos_of_col(num_cols_, SIZE_MAX);
+  {
+    const auto& basic = basis_.basic();
+    for (std::size_t p = 0; p < m_; ++p) pos_of_col[basic[p]] = p;
+  }
+  std::vector<char> drop_row(m_, 0);
+  std::vector<char> drop_col(num_cols_, 0);
+  std::vector<std::size_t> positions;
+  positions.reserve(rows.size());
+  for (const std::size_t r : rows) {
+    OEF_CHECK(r < m_);
+    std::size_t covering = SIZE_MAX;
+    for (const std::size_t c : row_units_[r]) {
+      if (pos_of_col[c] != SIZE_MAX) {
+        covering = pos_of_col[c];
+        break;
+      }
+    }
+    if (covering == SIZE_MAX) return false;
+    positions.push_back(covering);
+    drop_row[r] = 1;
+    for (const std::size_t c : row_units_[r]) drop_col[c] = 1;
+  }
+  std::sort(positions.begin(), positions.end());
+
+  std::vector<std::size_t> col_remap(num_cols_, SIZE_MAX);
+  std::vector<std::size_t> row_remap(m_, SIZE_MAX);
+  std::size_t new_cols = 0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (!drop_col[j]) col_remap[j] = new_cols++;
+  }
+  std::size_t new_rows = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (!drop_row[i]) row_remap[i] = new_rows++;
+  }
+
+  const bool basis_valid = basis_.delete_rows(positions, rows, col_remap);
+
+  // Renumber the constraint matrix and every per-row / per-column array.
+  SparseMatrix reduced;
+  reduced.reset(new_rows);
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (drop_col[j]) continue;
+    const std::size_t nj = reduced.add_column();
+    for (const SparseEntry& e : cols_.column(j)) {
+      if (!drop_row[e.row]) reduced.add_entry(nj, row_remap[e.row], e.value);
+    }
+  }
+  cols_ = std::move(reduced);
+  if (!sparse_) {
+    std::vector<std::vector<double>> dense(new_rows, std::vector<double>(new_cols, 0.0));
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (drop_row[i]) continue;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (!drop_col[j]) dense[row_remap[i]][col_remap[j]] = dense_rows_[i][j];
+      }
+    }
+    dense_rows_ = std::move(dense);
+  }
+
+  const auto filter_rows = [&](auto& vec) {
+    std::remove_reference_t<decltype(vec)> kept;
+    kept.reserve(new_rows);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (!drop_row[i]) kept.push_back(std::move(vec[i]));
+    }
+    vec = std::move(kept);
+  };
+  const auto filter_cols = [&](auto& vec) {
+    std::remove_reference_t<decltype(vec)> kept;
+    kept.reserve(new_cols);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (!drop_col[j]) kept.push_back(std::move(vec[j]));
+    }
+    vec = std::move(kept);
+  };
+  // Standard rows and model constraints share indices, so the deleted model
+  // constraints are exactly `rows` and the surviving refs renumber through
+  // the same row remap.
+  for (internal::RowRef& ref : row_refs_) {
+    if (ref.constraint != SIZE_MAX) ref.constraint = row_remap[ref.constraint];
+  }
+  filter_rows(relations_);
+  filter_rows(row_refs_);
+  filter_rows(row_units_);
+  for (auto& units : row_units_) {
+    for (std::size_t& c : units) c = col_remap[c];
+  }
+  filter_rows(b_);
+  filter_rows(b_exact_);
+  filter_rows(row_scale_);
+  {
+    // Dual devex weights are indexed by basis position (the leaving-row
+    // candidates), so they shrink by the excised positions, not by the
+    // deleted constraint rows.
+    std::vector<char> drop_pos(m_, 0);
+    for (const std::size_t p : positions) drop_pos[p] = 1;
+    std::vector<double> kept;
+    kept.reserve(new_rows);
+    for (std::size_t p = 0; p < m_; ++p) {
+      if (!drop_pos[p]) kept.push_back(dual_weights_[p]);
+    }
+    dual_weights_ = std::move(kept);
+  }
+  filter_cols(cost_);
+  filter_cols(upper_);
+  filter_cols(artificial_);
+  filter_cols(at_upper_);
+  filter_cols(primal_weights_);
+  filter_cols(in_basis_);  // size must track num_cols_: append_row pushes onto it
+  m_ = new_rows;
+  num_cols_ = new_cols;
+  rebuild_basis_flags();
+  num_at_upper_ = 0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (at_upper_[j]) ++num_at_upper_;
+  }
+  any_artificial_ = false;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (artificial_[j]) any_artificial_ = true;
+  }
+  max_iterations_ = options.max_iterations != 0 ? options.max_iterations
+                                                : 200 * (m_ + num_cols_) + 10000;
+
+  // The dense inverse shrinks exactly; the factored basis asks for a fresh
+  // (cheap, sparse) factorisation of the reduced basis. Either way the
+  // surviving basic values are recomputed from the reduced rhs — the vertex
+  // itself is unchanged (the deleted rows carried basic slacks).
+  if (!basis_valid && !refactor()) return false;
+  refresh_xb();
+  return true;
+}
+
 SolveStatus LpSolver::Core::run_resolve(const SolverOptions& options) {
   iterations_ = phase1_iterations_ = dual_iterations_ = 0;
-  // append_row() kept B^-1 exact, so the O(m^3) refactorisation is only due
-  // when the pivot counter says so; the basic values always need a refresh
-  // against the extended rhs.
+  // append_row() kept the basis representation exact (bordered update /
+  // inverse extension), so a refactorisation is only due when the basis's
+  // own policy says so; the basic values always need a refresh against the
+  // extended rhs.
   if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
   refresh_xb();
   const SolveStatus status = run_dual(options);
@@ -987,6 +1185,11 @@ LpSolution LpSolver::solve_loaded_cold() {
     }
   }
   // Revised path failed or produced an unverifiable point: reference tableau.
+  // The fallback is dramatically slower on large models, so its trigger is
+  // worth a log line (to_string names the revised outcome).
+  common::log_debug("lp_solver: cold revised solve fell back to the tableau (" +
+                    to_string(solution.status) + " after " +
+                    std::to_string(core->iterations()) + " pivots)");
   ++stats_.tableau_fallbacks;
   core_.reset();
   incremental_ok_ = false;
@@ -1036,6 +1239,29 @@ LpSolution LpSolver::solve(const LpModel& model) {
   LpSolution solution = solve_loaded_cold();
   stats_.solve_seconds += seconds_since(start);
   return solution;
+}
+
+bool LpSolver::delete_rows(const std::vector<std::size_t>& row_indices) {
+  if (row_indices.empty()) return has_basis();
+  std::vector<std::size_t> sorted = row_indices;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const std::size_t r : sorted) OEF_CHECK(r < model_.num_constraints());
+
+  bool warm = false;
+  if (options_.algorithm != LpAlgorithm::kTableau && core_ && incremental_ok_) {
+    warm = core_->delete_rows(sorted, options_);
+    if (!warm) {
+      // Either some row had no basic unit column (so the excision would
+      // leave a singular basis) or the reduced refactorisation failed; the
+      // core may be part-mutated, so drop it and let the next solve/resolve
+      // rebuild cold from the shrunken model.
+      core_.reset();
+      incremental_ok_ = false;
+    }
+  }
+  model_.remove_constraints(sorted);
+  return warm;
 }
 
 std::size_t LpSolver::add_rows(const std::vector<Constraint>& rows) {

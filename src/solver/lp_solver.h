@@ -1,27 +1,35 @@
 // Stateful LP solver with an incremental-resolve API.
 //
 // Where SimplexSolver is a single-shot full-tableau solve, LpSolver keeps the
-// standard form, the Basis (dense B^-1) and the last optimal vertex alive
-// between calls, which enables two kinds of warm start:
+// standard form, the Basis and the last optimal vertex alive between calls,
+// which enables three kinds of warm work:
 //
 //   * add_rows() + resolve(): newly separated constraints (the lazy
 //     envy-freeness rows of cooperative OEF) are appended to the loaded
 //     problem and reoptimised with the dual simplex from the previous optimal
 //     basis — the previous optimum stays dual-feasible, so typically a
 //     handful of pivots replace a full two-phase re-solve.
+//   * delete_rows(): rows loose at the current optimum (their slacks basic)
+//     are excised together with their slack columns while the basis, the
+//     vertex and the duals survive — which lets relaxation compaction shrink
+//     the working LP without the cold re-solve it used to force.
 //   * solve() basis reuse: when a new model has exactly the same shape as the
 //     previously solved one (same variables, rows and relations — the
 //     round-over-round case in the simulator, where only coefficients move),
 //     the previous basis is refactorised against the new coefficients and
 //     reoptimised with primal or dual pivots instead of starting cold.
 //
-// The engine is a bounded-variable revised simplex (explicit dense basis
-// inverse, see basis.h): the constraint matrix is stored column-sparse
-// (sparse_matrix.h) so pricing passes iterate nonzeros only, finite variable
-// upper bounds live in the basis as nonbasic-at-upper statuses and bound
-// flips instead of synthetic rows, and entering/leaving choices use devex
-// reference weights (SolverOptions::pricing; Dantzig kept as the reference
-// rule, SolverOptions::sparse_pricing keeps the dense sweeps as a bench arm).
+// The engine is a bounded-variable revised simplex. The basis representation
+// is selected by SolverOptions::basis_kind (see basis.h): a sparse LU with a
+// product-form eta file by default — O(nnz) solves/updates, which carries the
+// cooperative sweep to n ~ 1000 — or the explicit dense B^-1 kept as the
+// pivot-identical reference arm. The constraint matrix is stored
+// column-sparse (sparse_matrix.h) so pricing passes iterate nonzeros only,
+// finite variable upper bounds live in the basis as nonbasic-at-upper
+// statuses and bound flips instead of synthetic rows, and entering/leaving
+// choices use devex reference weights (SolverOptions::pricing; Dantzig kept
+// as the reference rule, SolverOptions::sparse_pricing keeps the dense
+// sweeps as a bench arm).
 // SolverOptions::algorithm == LpAlgorithm::kTableau degrades every call to
 // the reference full-tableau SimplexSolver (no warm starts), and the revised
 // path falls back to the tableau automatically whenever it fails to reach a
@@ -78,6 +86,16 @@ class LpSolver {
   /// basis when possible, cold solve of the extended model otherwise. The
   /// returned solution has warm_started == true iff the warm path succeeded.
   [[nodiscard]] LpSolution resolve();
+
+  /// Removes constraints (by model index) from the loaded model. When the
+  /// solver holds an optimal basis and every removed row carries a basic
+  /// slack/artificial of its own — always true for rows strictly loose at
+  /// the optimum, the relaxation-compaction case — the rows are excised in
+  /// place: the basis, vertex and duals survive and the next resolve() stays
+  /// warm. Returns true on that warm path; false means the basis was
+  /// discarded and the next solve()/resolve() runs cold on the shrunken
+  /// model. Only valid after a solve().
+  bool delete_rows(const std::vector<std::size_t>& row_indices);
 
   /// True when a previous solve left an optimal basis to warm-start from.
   [[nodiscard]] bool has_basis() const;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "solver/basis.h"
 #include "solver/lp_model.h"
 
 namespace oef::solver {
@@ -49,8 +50,20 @@ struct SolverOptions {
   /// Allow LpSolver::solve to reuse the previous optimal basis when the new
   /// model has the same shape (rows, columns, relations) as the last one.
   bool warm_start = true;
-  /// Revised simplex: pivots between full basis refactorisations.
+  /// Basis representation of the revised engine. kFactoredLu (default) keeps
+  /// a sparse LU of B with a product-form eta file — O(nnz) solves and
+  /// updates, which is what scales the row-generation LPs past m ~ 10^4.
+  /// kDense keeps the explicit dense B^-1 of PR 2 as the pivot-identical
+  /// reference arm (O(m^2) per pivot).
+  BasisKind basis_kind = BasisKind::kFactoredLu;
+  /// Revised simplex refactorisation floor. Dense basis: minimum pivots
+  /// between refactorisations (the effective interval is max(this, m)).
+  /// Factored basis: cap on the eta-file length (see refactor_fill_growth).
   std::size_t refactor_interval = 64;
+  /// Factored basis only: refactorise when the eta file's nonzeros exceed
+  /// this multiple of the fresh LU factor's nonzeros (+ m), i.e. when
+  /// accumulated updates erode the sparse-solve advantage.
+  double refactor_fill_growth = 2.0;
   /// Pricing rule of the revised engine.
   PricingRule pricing = PricingRule::kDevex;
   /// Revised engine: iterate constraint-matrix nonzeros (CSC columns) in the
