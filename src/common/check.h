@@ -1,20 +1,59 @@
 // Checked assertions that stay on in release builds.
 //
-// OEF_CHECK aborts with a message when an invariant is broken; it is used for
-// programming errors (broken preconditions), not for recoverable conditions,
-// which are reported via status enums or exceptions at module boundaries.
+// Failure-handling policy (PR 7):
+//
+//   * OEF_CHECK / OEF_CHECK_MSG abort the process. They guard *programming
+//     errors* — internal invariants that can only break through a bug in this
+//     repository (index arithmetic, representation consistency). Aborting is
+//     correct there: the state is unknowable and continuing would corrupt
+//     results silently.
+//   * OEF_REQUIRE / OEF_REQUIRE_MSG throw oef::common::CheckError. They guard
+//     *recoverable conditions at module boundaries* — malformed caller input
+//     (bad sizes, non-positive weights) and bookkeeping that an embedding
+//     system can reasonably mis-configure. Callers that serve requests (the
+//     scheduler's degradation ladder, experiment drivers) catch CheckError
+//     and degrade instead of dying.
+//   * Conditions that occur in normal operation (singular bases, iteration
+//     limits, oracle non-convergence) are not assertions at all: they are
+//     reported through status enums (SolveStatus, AllocationStatus) so every
+//     layer can escalate deliberately.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace oef::common {
+
+/// Thrown by OEF_REQUIRE at recoverable module boundaries. Derives from
+/// std::runtime_error so generic handlers (and tests) can catch it without
+/// including this header.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const char* msg) {
   std::fprintf(stderr, "OEF_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
                msg[0] != '\0' ? " — " : "", msg);
   std::abort();
+}
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const char* msg) {
+  std::string what = "OEF_REQUIRE failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (msg[0] != '\0') {
+    what += " — ";
+    what += msg;
+  }
+  throw CheckError(what);
 }
 
 }  // namespace oef::common
@@ -27,4 +66,14 @@ namespace oef::common {
 #define OEF_CHECK_MSG(expr, msg)                                          \
   do {                                                                    \
     if (!(expr)) ::oef::common::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define OEF_REQUIRE(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) ::oef::common::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define OEF_REQUIRE_MSG(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::oef::common::require_failed(#expr, __FILE__, __LINE__, msg); \
   } while (false)

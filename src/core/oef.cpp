@@ -5,9 +5,11 @@
 #include <cmath>
 #include <numeric>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "solver/lp_model.h"
 
 namespace oef::core {
@@ -133,6 +135,16 @@ void build_base_model(LpModel& model, const SpeedupMatrix& w,
 
 }  // namespace
 
+const char* to_string(AllocationStatus status) {
+  switch (status) {
+    case AllocationStatus::kNotSolved: return "not_solved";
+    case AllocationStatus::kOptimal: return "optimal";
+    case AllocationStatus::kDegraded: return "degraded";
+    case AllocationStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 std::optional<Allocation> non_cooperative_fast_path(
     const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
     const std::vector<double>& capacities, double tolerance) {
@@ -211,14 +223,22 @@ AllocationResult OefAllocator::allocate(const SpeedupMatrix& speedups,
 
 AllocationResult OefAllocator::allocate_weighted(
     const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
-    const std::vector<double>& capacities) const {
-  OEF_CHECK(multiplicities.size() == speedups.num_users());
-  for (const double r : multiplicities) OEF_CHECK_MSG(r > 0.0, "multiplicity must be > 0");
-  OEF_CHECK(capacities.size() == speedups.num_types());
+    const std::vector<double>& capacities,
+    const std::vector<std::size_t>& user_ids) const {
+  // Module boundary: malformed inputs here come from the caller (scheduler /
+  // simulator feeding per-round data), so they throw CheckError rather than
+  // aborting — a robust scheduler catches and degrades (see check.h policy).
+  OEF_REQUIRE_MSG(multiplicities.size() == speedups.num_users(),
+                  "multiplicities must match the speedup matrix's user count");
+  for (const double r : multiplicities) OEF_REQUIRE_MSG(r > 0.0, "multiplicity must be > 0");
+  OEF_REQUIRE_MSG(capacities.size() == speedups.num_types(),
+                  "capacities must match the speedup matrix's type count");
+  OEF_REQUIRE_MSG(user_ids.empty() || user_ids.size() == speedups.num_users(),
+                  "user_ids must be empty or match the user count");
   if (mode_ == Mode::kNonCooperative) {
     return solve_non_cooperative(speedups, multiplicities, capacities);
   }
-  return solve_cooperative(speedups, multiplicities, capacities);
+  return solve_cooperative(speedups, multiplicities, capacities, user_ids);
 }
 
 AllocationResult OefAllocator::solve_non_cooperative(
@@ -227,16 +247,24 @@ AllocationResult OefAllocator::solve_non_cooperative(
   const std::size_t n = speedups.num_users();
   const std::size_t k = speedups.num_types();
 
+  AllocationResult result;
   if (options_.use_fast_path) {
     auto fast = non_cooperative_fast_path(speedups, multiplicities, capacities);
     if (fast.has_value()) {
-      AllocationResult result;
       result.allocation = std::move(*fast);
+      result.outcome = AllocationStatus::kOptimal;
       result.status = solver::SolveStatus::kOptimal;
       result.total_efficiency = result.allocation.total_efficiency(speedups);
       result.used_fast_path = true;
       return result;
     }
+    // The instance has crossing rows, so the combinatorial path does not
+    // apply and the LP below answers instead. Count and log the degradation
+    // rather than falling through silently.
+    result.fast_path_fallback = true;
+    common::log_debug(
+        "non-cooperative fast path unavailable (instance not totally ordered); "
+        "falling back to the LP");
   }
 
   LpModel model(Sense::kMaximize);
@@ -255,18 +283,25 @@ AllocationResult OefAllocator::solve_non_cooperative(
   // Persistent solver: across simulator rounds with a stable user population
   // the model shape repeats, so the previous optimal basis warm-starts this
   // solve (equal-efficiency rows only move in their coefficients).
-  const double seconds_before = noncoop_solver_.stats().solve_seconds;
+  const solver::LpSolverStats stats_before = noncoop_solver_.stats();
   const solver::LpSolution solution = noncoop_solver_.solve(model);
-  AllocationResult result;
+  const solver::LpSolverStats& stats_after = noncoop_solver_.stats();
   result.status = solution.status;
   result.lp_iterations = solution.iterations;
-  result.solve_seconds = noncoop_solver_.stats().solve_seconds - seconds_before;
+  result.solve_seconds = stats_after.solve_seconds - stats_before.solve_seconds;
+  result.dense_fallbacks = stats_after.dense_fallbacks - stats_before.dense_fallbacks;
+  result.tableau_fallbacks = stats_after.tableau_fallbacks - stats_before.tableau_fallbacks;
+  result.basis_repairs = stats_after.basis_repairs - stats_before.basis_repairs;
   if (solution.warm_started) {
     result.warm_lp_iterations = solution.iterations;
   } else {
     result.cold_lp_iterations = solution.iterations;
   }
-  if (!solution.optimal()) return result;
+  if (!solution.optimal()) {
+    result.outcome = AllocationStatus::kFailed;
+    return result;
+  }
+  result.outcome = AllocationStatus::kOptimal;
   result.allocation = extract_allocation(solution.values, n, k);
   result.total_efficiency = result.allocation.total_efficiency(speedups);
   return result;
@@ -274,7 +309,8 @@ AllocationResult OefAllocator::solve_non_cooperative(
 
 AllocationResult OefAllocator::solve_cooperative(
     const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
-    const std::vector<double>& capacities) const {
+    const std::vector<double>& capacities,
+    const std::vector<std::size_t>& user_ids) const {
   const std::size_t n = speedups.num_users();
   const std::size_t k = speedups.num_types();
 
@@ -282,6 +318,13 @@ AllocationResult OefAllocator::solve_cooperative(
   build_base_model(model, speedups, capacities);
 
   AllocationResult result;
+  const solver::LpSolverStats stats_before = coop_solver_.stats();
+  const auto harvest_ladder_stats = [&] {
+    const solver::LpSolverStats& after = coop_solver_.stats();
+    result.dense_fallbacks = after.dense_fallbacks - stats_before.dense_fallbacks;
+    result.tableau_fallbacks = after.tableau_fallbacks - stats_before.tableau_fallbacks;
+    result.basis_repairs = after.basis_repairs - stats_before.basis_repairs;
+  };
   if (!options_.lazy_envy_constraints) {
     for (std::size_t l = 0; l < n; ++l) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -291,9 +334,10 @@ AllocationResult OefAllocator::solve_cooperative(
     // Same persistent solver as the lazy path: stats accumulate, the
     // configured algorithm applies, and repeat calls of the same shape
     // warm-start.
-    const double seconds_before = coop_solver_.stats().solve_seconds;
+    const double seconds_before = stats_before.solve_seconds;
     const solver::LpSolution solution = coop_solver_.solve(model);
     result.solve_seconds = coop_solver_.stats().solve_seconds - seconds_before;
+    harvest_ladder_stats();
     result.status = solution.status;
     result.lp_iterations = solution.iterations;
     if (solution.warm_started) {
@@ -301,7 +345,11 @@ AllocationResult OefAllocator::solve_cooperative(
     } else {
       result.cold_lp_iterations = solution.iterations;
     }
-    if (!solution.optimal()) return result;
+    if (!solution.optimal()) {
+      result.outcome = AllocationStatus::kFailed;
+      return result;
+    }
+    result.outcome = AllocationStatus::kOptimal;
     result.allocation = extract_allocation(solution.values, n, k);
     result.total_efficiency = result.allocation.total_efficiency(speedups);
     return result;
@@ -324,9 +372,39 @@ AllocationResult OefAllocator::solve_cooperative(
       session_pairs.push_back({l, i});
     }
   };
-  if (options_.recycle_envy_rows && envy_pool_users_ == n) {
-    for (const auto& [l, i] : envy_pool_) seed_pair(l, i);
-  } else if (options_.seed_adjacent_envy_rows) {
+  // The pool stores stable-ID pairs. With caller-provided ids, pairs whose
+  // both endpoints survived churn are mapped back to current row indices and
+  // recycled even though n changed; departed/unknown ids are skipped (and an
+  // id stored by a legacy identity-keyed call is harmless — seed_pair bounds-
+  // checks). The legacy path keeps its same-n guard.
+  if (options_.recycle_envy_rows && !user_ids.empty()) {
+    std::unordered_map<std::size_t, std::size_t> index_of_id;
+    index_of_id.reserve(n);
+    for (std::size_t l = 0; l < n; ++l) index_of_id.emplace(user_ids[l], l);
+    // When the user set is unchanged (same n, every pooled id still present)
+    // the full pool is reseeded in order: the model then has the shape of the
+    // previous call's final model and the solver reuses its optimal basis.
+    // Any churn in the user set makes this call a cold solve no matter what
+    // we seed, and there a big initial relaxation costs more phase-1 pivots
+    // than the skipped oracle rounds save — so seed only the binding rows.
+    bool same_user_set = n == envy_pool_users_;
+    for (const PooledEnvyRow& row : envy_pool_) {
+      if (!same_user_set) break;
+      same_user_set = index_of_id.count(row.envier) != 0 &&
+                      index_of_id.count(row.envied) != 0;
+    }
+    for (const PooledEnvyRow& row : envy_pool_) {
+      if (!same_user_set && !row.binding) continue;
+      const auto a = index_of_id.find(row.envier);
+      const auto b = index_of_id.find(row.envied);
+      if (a != index_of_id.end() && b != index_of_id.end()) {
+        seed_pair(a->second, b->second);
+      }
+    }
+  } else if (options_.recycle_envy_rows && user_ids.empty() && envy_pool_users_ == n) {
+    for (const PooledEnvyRow& row : envy_pool_) seed_pair(row.envier, row.envied);
+  }
+  if (session_pairs.empty() && options_.seed_adjacent_envy_rows) {
     // Cold start: at the optimum envy binds densely between users adjacent
     // in the dominance order (Thm 5.2's adjacency structure), so seeding
     // both directions of every pair within distance 2 (~4n rows) skips most
@@ -427,6 +505,9 @@ AllocationResult OefAllocator::solve_cooperative(
                                         : std::max<std::size_t>(16 * n, 512);
     lazy.enable_compaction(base_rows, base_rows + envy_budget);
   }
+  if (options_.solve_deadline_seconds > 0.0) {
+    lazy.set_deadline(options_.solve_deadline_seconds);
+  }
   const solver::LazySolveResult lazy_result = lazy.solve(coop_solver_, model, oracle);
   result.status = lazy_result.solution.status;
   result.lp_iterations = lazy_result.total_iterations;
@@ -440,27 +521,59 @@ AllocationResult OefAllocator::solve_cooperative(
   result.warm_lp_iterations = lazy_result.warm_iterations;
   result.solve_seconds = lazy_result.solve_seconds;
   result.oracle_seconds = oracle_seconds;
+  result.deadline_expired = lazy_result.deadline_expired;
   oracle_seconds_total_ += oracle_seconds;
-  if (!lazy_result.solution.optimal() || !lazy_result.converged) {
-    if (!lazy_result.converged && lazy_result.solution.optimal()) {
-      result.status = solver::SolveStatus::kIterationLimit;
-    }
+  harvest_ladder_stats();
+  if (!lazy_result.solution.optimal()) {
+    // Every rung of the degradation ladder failed on some relaxation — there
+    // is no feasible point to hand out at all.
+    result.outcome = AllocationStatus::kFailed;
     return result;
+  }
+  if (!lazy_result.converged) {
+    // The round cap or the deadline stopped the loop at a relaxation optimum:
+    // capacity-feasible (the capacity rows are permanent), some envy rows
+    // possibly violated. Serve it, flagged as degraded, instead of the old
+    // behaviour of returning an empty allocation.
+    result.status = solver::SolveStatus::kIterationLimit;
+    result.outcome = AllocationStatus::kDegraded;
+  } else {
+    result.outcome = AllocationStatus::kOptimal;
   }
   result.allocation = extract_allocation(lazy_result.solution.values, n, k);
   result.total_efficiency = result.allocation.total_efficiency(speedups);
 
-  // Refresh the recycled pool with the rows binding at this optimum.
+  // Refresh the recycled pool with every envy pair materialised this call
+  // (seeded + lazily added, minus compaction drops), keyed by stable id.
+  // Keeping the loose rows too — not just the binding set — preserves the
+  // invariant the warm start depends on: a quiet next round re-seeds exactly
+  // this call's final row set, the model shapes match, and the solver reuses
+  // the optimal basis instead of cold-solving. The pool cannot grow without
+  // bound: it mirrors the final model, whose envy rows the in-call
+  // compaction budget caps.
   if (options_.recycle_envy_rows) {
-    std::sort(session_pairs.begin(), session_pairs.end());
-    session_pairs.erase(std::unique(session_pairs.begin(), session_pairs.end()),
-                        session_pairs.end());
+    // Materialisation order, deduplicated first-occurrence (a pair appears
+    // twice only when compaction dropped its row and the oracle re-emitted
+    // it). Preserving the order matters: next round seeds the pool in pool
+    // order, so pool order == this model's envy-row order keeps the restored
+    // basis's slack columns attached to the same rows — sorting here would
+    // permute the rows and turn the warm start into a singular-basis repair.
     envy_pool_.clear();
+    std::vector<char> pooled(n * n, 0);
     const std::vector<double>& point = lazy_result.solution.values;
     for (const auto& [l, i] : session_pairs) {
-      const double own = scaled_efficiency(speedups, multiplicities, point, l);
-      const double envied = envied_efficiency(speedups, multiplicities, point, l, i);
-      if (own - envied < 1e-6) envy_pool_.push_back({l, i});
+      if (pooled[l * n + i]) continue;
+      pooled[l * n + i] = 1;
+      PooledEnvyRow row;
+      row.envier = user_ids.empty() ? l : user_ids[l];
+      row.envied = user_ids.empty() ? i : user_ids[i];
+      // Tight at the optimum (own efficiency == envied efficiency, up to the
+      // solver's feasibility tolerance) — the rows worth seeding into a
+      // differently-shaped next call.
+      row.binding = envied_efficiency(speedups, multiplicities, point, l, i) -
+                        scaled_efficiency(speedups, multiplicities, point, l) >=
+                    -1e-6;
+      envy_pool_.push_back(row);
     }
     envy_pool_users_ = n;
   }

@@ -70,10 +70,41 @@ struct OefOptions {
   /// rows one violation at a time (n = 300: 46 rounds / 10.4k rows down to
   /// 30 rounds / 6.6k rows, and a cold sweep that completes in minutes).
   bool seed_adjacent_envy_rows = true;
+  /// Wall-clock budget for one allocate() call, in seconds; 0 disables it.
+  /// Cooperative lazy mode: when the deadline expires mid-loop the call
+  /// returns the last relaxation optimum (capacity-feasible, envy rows
+  /// approximate) as a *degraded* result instead of running to convergence —
+  /// the anytime contract a per-round scheduler needs.
+  double solve_deadline_seconds = 0.0;
 };
+
+/// Outcome of one allocate() call, one level above the LP's SolveStatus:
+/// whether the caller got an allocation it can serve, and of what quality.
+enum class AllocationStatus {
+  /// Default-constructed result; allocate() never ran (the old silent
+  /// kIterationLimit default made this state indistinguishable from a real
+  /// iteration-limit failure).
+  kNotSolved,
+  /// Converged, envy-free (cooperative) / equal-efficiency (non-cooperative)
+  /// optimum.
+  kOptimal,
+  /// A capacity-feasible allocation was produced, but degraded: the lazy envy
+  /// loop hit its round cap or the solve deadline before converging, so a few
+  /// envy rows may be violated. Servable, and flagged.
+  kDegraded,
+  /// No usable allocation (LP infeasible/unbounded, or every rung of the
+  /// degradation ladder failed). The allocation field is empty.
+  kFailed,
+};
+
+[[nodiscard]] const char* to_string(AllocationStatus status);
 
 struct AllocationResult {
   Allocation allocation;
+  /// Servability of this result (see AllocationStatus). Starts at kNotSolved
+  /// so an unpopulated result can never masquerade as a solver failure.
+  AllocationStatus outcome = AllocationStatus::kNotSolved;
+  /// Final LP solve status — diagnostic detail under `outcome`.
   solver::SolveStatus status = solver::SolveStatus::kIterationLimit;
   /// Σ w_l · x_l at the optimum.
   double total_efficiency = 0.0;
@@ -99,8 +130,26 @@ struct AllocationResult {
   double oracle_seconds = 0.0;
   /// True when the fast path produced the result (no LP solved).
   bool used_fast_path = false;
+  /// Non-cooperative mode: the fast path was enabled but the instance was not
+  /// totally ordered (crossing rows), so the LP solved it instead. Previously
+  /// this degradation was silent.
+  bool fast_path_fallback = false;
+  /// Cooperative lazy mode: OefOptions::solve_deadline_seconds expired and
+  /// the last relaxation optimum was returned (outcome == kDegraded).
+  bool deadline_expired = false;
+  /// Degradation-ladder counters for this call (deltas of the solver's
+  /// cumulative stats): factored→dense cold retries, tableau fallbacks, and
+  /// deficient basis positions repaired.
+  std::size_t dense_fallbacks = 0;
+  std::size_t tableau_fallbacks = 0;
+  std::size_t basis_repairs = 0;
 
-  [[nodiscard]] bool ok() const { return status == solver::SolveStatus::kOptimal; }
+  /// True only for a converged optimum.
+  [[nodiscard]] bool ok() const { return outcome == AllocationStatus::kOptimal; }
+  /// True when the allocation can be handed out (optimal or degraded).
+  [[nodiscard]] bool served() const {
+    return outcome == AllocationStatus::kOptimal || outcome == AllocationStatus::kDegraded;
+  }
 };
 
 /// OEF allocator. allocate() is logically const but reuses internal solver
@@ -129,9 +178,17 @@ class OefAllocator {
 
   /// Weighted / multi-job-type allocation: row v behaves like
   /// multiplicities[v] replicated users (§4.2.3). Multiplicities must be > 0.
+  ///
+  /// `user_ids`, when non-empty, gives a stable identity per row (size n).
+  /// The recycled envy-row pool is then keyed by identity instead of row
+  /// index, so it survives churn: when tenants arrive or depart between
+  /// calls, rows of surviving pairs are still recycled instead of the whole
+  /// pool being discarded because n changed. Empty (the default) keeps the
+  /// legacy behaviour: identity == row index, pool dropped on any n change.
   [[nodiscard]] AllocationResult allocate_weighted(
       const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
-      const std::vector<double>& capacities) const;
+      const std::vector<double>& capacities,
+      const std::vector<std::size_t>& user_ids = {}) const;
 
  private:
   [[nodiscard]] AllocationResult solve_non_cooperative(
@@ -139,7 +196,8 @@ class OefAllocator {
       const std::vector<double>& capacities) const;
   [[nodiscard]] AllocationResult solve_cooperative(
       const SpeedupMatrix& speedups, const std::vector<double>& multiplicities,
-      const std::vector<double>& capacities) const;
+      const std::vector<double>& capacities,
+      const std::vector<std::size_t>& user_ids) const;
 
   Mode mode_;
   OefOptions options_;
@@ -148,9 +206,20 @@ class OefAllocator {
   /// calls reuse the previous optimal basis (see solver/lp_solver.h).
   mutable solver::LpSolver coop_solver_;
   mutable solver::LpSolver noncoop_solver_;
-  /// Envy rows (l envies i) binding at the previous cooperative optimum,
-  /// recycled (deduplicated) into the next call's initial relaxation.
-  mutable std::vector<std::pair<std::size_t, std::size_t>> envy_pool_;
+  /// One envy row (envier envies envied) of the previous cooperative call's
+  /// final relaxation, recycled into the next call's initial relaxation.
+  /// Stored as stable IDs: the caller's user_ids when provided, row indices
+  /// otherwise. `binding` marks rows tight at the previous optimum: when the
+  /// next call has the same user set the whole pool is reseeded in order
+  /// (shape match → basis reuse), but across a user-set change — where the
+  /// shape can't match and the solve is cold regardless — only the binding
+  /// rows are worth the larger initial relaxation they buy.
+  struct PooledEnvyRow {
+    std::size_t envier = 0;
+    std::size_t envied = 0;
+    bool binding = false;
+  };
+  mutable std::vector<PooledEnvyRow> envy_pool_;
   mutable std::size_t envy_pool_users_ = 0;
   mutable double oracle_seconds_total_ = 0.0;
 };

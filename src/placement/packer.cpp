@@ -12,10 +12,18 @@ namespace {
 /// Free-device pool per GPU type, organised by host for consolidation.
 class DevicePool {
  public:
-  explicit DevicePool(const cluster::Cluster& cluster) : cluster_(&cluster) {
+  /// `device_up` empty = every device healthy; otherwise devices flagged 0
+  /// never enter the pool.
+  explicit DevicePool(const cluster::Cluster& cluster,
+                      const std::vector<char>& device_up = {}) : cluster_(&cluster) {
     free_.resize(cluster.num_gpu_types());
     for (const cluster::Host& host : cluster.hosts()) {
-      free_[host.gpu_type].push_back({host.id, host.devices});
+      std::vector<cluster::DeviceId> healthy;
+      healthy.reserve(host.devices.size());
+      for (const cluster::DeviceId id : host.devices) {
+        if (device_up.empty() || device_up[id]) healthy.push_back(id);
+      }
+      if (!healthy.empty()) free_[host.gpu_type].push_back({host.id, std::move(healthy)});
     }
   }
 
@@ -89,6 +97,11 @@ Packer::Packer(const cluster::Cluster& cluster, PackerOptions options)
     : cluster_(&cluster), options_(options) {}
 
 PlacementPlan Packer::pack(const std::vector<UserPackRequest>& requests) const {
+  return pack(requests, {});
+}
+
+PlacementPlan Packer::pack(const std::vector<UserPackRequest>& requests,
+                           const std::vector<char>& device_up) const {
   const std::size_t k = cluster_->num_gpu_types();
   PlacementPlan plan;
   std::vector<PendingPlacement> pending;
@@ -162,7 +175,7 @@ PlacementPlan Packer::pack(const std::vector<UserPackRequest>& requests) const {
                      });
   }
 
-  DevicePool pool(*cluster_);
+  DevicePool pool(*cluster_, device_up);
   std::size_t placed_devices = 0;
   for (const PendingPlacement& item : pending) {
     JobPlacement result;

@@ -68,6 +68,13 @@ class Packer {
   /// grant is respected exactly (never exceeded).
   [[nodiscard]] PlacementPlan pack(const std::vector<UserPackRequest>& requests) const;
 
+  /// Same, restricted to healthy devices: `device_up[id] == 0` removes the
+  /// device from the pool (dynamic-cluster failure mode). An empty vector
+  /// means every device is up. Grants must already fit the surviving
+  /// capacities — the rounder is fed those — so the pool never runs dry.
+  [[nodiscard]] PlacementPlan pack(const std::vector<UserPackRequest>& requests,
+                                   const std::vector<char>& device_up) const;
+
  private:
   const cluster::Cluster* cluster_;
   PackerOptions options_;

@@ -9,8 +9,10 @@ namespace oef::sched {
 std::vector<double> effective_weights(std::size_t num_users,
                                       const std::vector<double>& weights) {
   if (weights.empty()) return std::vector<double>(num_users, 1.0);
-  OEF_CHECK(weights.size() == num_users);
-  for (const double w : weights) OEF_CHECK_MSG(w > 0.0, "weights must be positive");
+  // Module boundary: weights come from experiment configs / the simulator,
+  // so malformed input throws (recoverable) instead of aborting.
+  OEF_REQUIRE_MSG(weights.size() == num_users, "weights must match the user count");
+  for (const double w : weights) OEF_REQUIRE_MSG(w > 0.0, "weights must be positive");
   return weights;
 }
 

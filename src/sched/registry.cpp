@@ -11,15 +11,22 @@
 namespace oef::sched {
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  return make_scheduler(name, core::OefOptions{});
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const core::OefOptions& oef_options) {
   if (name == "MaxMin") return std::make_unique<MaxMinScheduler>();
   if (name == "GandivaFair") return std::make_unique<GandivaFairScheduler>();
   if (name == "Gavel") return std::make_unique<GavelScheduler>();
   if (name == "EfficiencyMax") return std::make_unique<EfficiencyMaxScheduler>();
   if (name == "OEF-noncoop") {
-    return std::make_unique<OefScheduler>(core::OefAllocator::Mode::kNonCooperative);
+    return std::make_unique<OefScheduler>(core::OefAllocator::Mode::kNonCooperative,
+                                          oef_options);
   }
   if (name == "OEF-coop") {
-    return std::make_unique<OefScheduler>(core::OefAllocator::Mode::kCooperative);
+    return std::make_unique<OefScheduler>(core::OefAllocator::Mode::kCooperative,
+                                          oef_options);
   }
   std::string known;
   for (const std::string& candidate : scheduler_names()) {

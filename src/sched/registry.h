@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/oef.h"
 #include "sched/scheduler.h"
 
 namespace oef::sched {
@@ -15,6 +16,11 @@ namespace oef::sched {
 /// std::invalid_argument (listing the known names) on anything else, so
 /// experiment configs get a recoverable, descriptive error.
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+/// Same, threading OEF options (deadline, fault injector, solver knobs) into
+/// the OEF schedulers; baselines ignore the options.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                                        const core::OefOptions& oef_options);
 
 /// All registered scheduler names.
 [[nodiscard]] std::vector<std::string> scheduler_names();

@@ -22,13 +22,43 @@ struct SchedulerTelemetry {
   std::size_t lp_cold_solves = 0;
   std::size_t lp_warm_resolves = 0;
   std::size_t lp_warm_start_hits = 0;
+  /// Degradation-ladder rungs taken inside the solver: factored→dense cold
+  /// retries, tableau reference fallbacks, and singular-basis positions
+  /// repaired during refactorisation.
+  std::size_t lp_dense_fallbacks = 0;
   std::size_t lp_tableau_fallbacks = 0;
+  std::size_t lp_basis_repairs = 0;
   std::size_t lp_iterations = 0;
   double lp_solve_seconds = 0.0;
   /// Wall-clock seconds inside the envy separation oracle (cooperative OEF;
   /// zero for schedulers without one). Disjoint from lp_solve_seconds, so
   /// the two split a round's scheduling time between pricing and separation.
   double oracle_seconds = 0.0;
+  /// Scheduler-level degradation (OEF under the robustness ladder; zero for
+  /// baselines): rounds served from a non-converged (degraded) LP result,
+  /// rounds served from the last-feasible fallback because the allocator
+  /// failed outright, allocate() calls stopped by the solve deadline, and
+  /// non-cooperative fast-path calls that had to fall back to the LP.
+  std::size_t degraded_rounds = 0;
+  std::size_t fallback_rounds = 0;
+  std::size_t deadline_expirations = 0;
+  std::size_t fastpath_lp_fallbacks = 0;
+
+  void merge(const SchedulerTelemetry& other) {
+    lp_cold_solves += other.lp_cold_solves;
+    lp_warm_resolves += other.lp_warm_resolves;
+    lp_warm_start_hits += other.lp_warm_start_hits;
+    lp_dense_fallbacks += other.lp_dense_fallbacks;
+    lp_tableau_fallbacks += other.lp_tableau_fallbacks;
+    lp_basis_repairs += other.lp_basis_repairs;
+    lp_iterations += other.lp_iterations;
+    lp_solve_seconds += other.lp_solve_seconds;
+    oracle_seconds += other.oracle_seconds;
+    degraded_rounds += other.degraded_rounds;
+    fallback_rounds += other.fallback_rounds;
+    deadline_expirations += other.deadline_expirations;
+    fastpath_lp_fallbacks += other.fastpath_lp_fallbacks;
+  }
 };
 
 class Scheduler {
@@ -47,6 +77,17 @@ class Scheduler {
       const core::SpeedupMatrix& speedups, const std::vector<double>& capacities,
       const std::vector<double>& weights = {}) const = 0;
 
+  /// Same, with a stable identity per user row (dynamic-cluster mode). LP
+  /// schedulers whose warm state is keyed by identity (OEF's recycled envy
+  /// pool) override this; the default ignores the ids and dispatches to the
+  /// three-argument overload, so closed-form baselines need no change.
+  [[nodiscard]] virtual core::Allocation allocate(
+      const core::SpeedupMatrix& speedups, const std::vector<double>& capacities,
+      const std::vector<double>& weights,
+      const std::vector<std::size_t>& /*user_ids*/) const {
+    return allocate(speedups, capacities, weights);
+  }
+
   /// Cumulative optimiser counters; default for closed-form schedulers.
   [[nodiscard]] virtual SchedulerTelemetry telemetry() const { return {}; }
 };
@@ -61,7 +102,9 @@ class Scheduler {
   t.lp_cold_solves = stats.cold_solves;
   t.lp_warm_resolves = stats.warm_resolves;
   t.lp_warm_start_hits = stats.warm_start_hits;
+  t.lp_dense_fallbacks = stats.dense_fallbacks;
   t.lp_tableau_fallbacks = stats.tableau_fallbacks;
+  t.lp_basis_repairs = stats.basis_repairs;
   t.lp_iterations = stats.total_iterations;
   t.lp_solve_seconds = stats.solve_seconds;
   return t;

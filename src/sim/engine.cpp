@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <iterator>
 #include <set>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "core/speedup_matrix.h"
 #include "sched/registry.h"
+#include "solver/fault_injector.h"
 #include "workload/profiler.h"
 
 namespace oef::sim {
@@ -52,9 +57,53 @@ double SimulationEngine::job_reference_rate(const workload::Job& job) const {
 SimResult SimulationEngine::run() {
   SimResult result;
   const std::size_t k = cluster_->num_gpu_types();
-  const std::vector<double> capacities = cluster_->capacities();
 
-  auto scheduler = sched::make_scheduler(options_.scheduler);
+  // Unified churn stream: explicit events plus the legacy knobs (forced
+  // exits, misreports) folded into the same ordered sequence.
+  std::vector<ClusterEvent> events = options_.events;
+  for (const auto& [tenant_id, exit_round] : options_.forced_exit_round) {
+    ClusterEvent event;
+    event.round = exit_round;
+    event.kind = ClusterEventKind::kTenantDeparture;
+    event.tenant = tenant_id;
+    events.push_back(event);
+  }
+  for (const CheatSpec& cheat : options_.cheats) {
+    ClusterEvent event;
+    event.round = cheat.from_round;
+    event.kind = ClusterEventKind::kMisreport;
+    event.tenant = cheat.tenant;
+    event.factor = cheat.factor;
+    events.push_back(event);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ClusterEvent& a, const ClusterEvent& b) {
+                     return a.round < b.round;
+                   });
+  std::size_t next_event = 0;
+
+  active_cheats_.clear();
+  type_drift_.assign(k, 1.0);
+  std::vector<char> device_up(cluster_->total_devices(), 1);
+  /// Active demand bursts: tenant -> (weight factor, expiry round).
+  std::map<workload::TenantId, std::pair<double, std::size_t>> bursts;
+
+  // Solver-fault injection, threaded into the OEF schedulers' LP engine.
+  // The injector outlives the scheduler (which holds a raw pointer to it).
+  solver::FaultInjectorConfig fault_config;
+  fault_config.seed = options_.fault_seed;
+  fault_config.eta_corruption_rate = options_.fault_eta_corruption_rate;
+  fault_config.basis_fault_rate = options_.fault_basis_fault_rate;
+  fault_config.corruption_factor = options_.fault_corruption_factor;
+  solver::FaultInjector injector(fault_config);
+  core::OefOptions oef_options = options_.oef;
+  if (fault_config.eta_corruption_rate > 0.0 || fault_config.basis_fault_rate > 0.0) {
+    oef_options.solver.fault_injector = &injector;
+  }
+
+  auto scheduler = sched::make_scheduler(options_.scheduler, oef_options);
+  // Telemetry of schedulers already torn down by the cold-restart arm.
+  sched::SchedulerTelemetry retired_telemetry;
 
   workload::ProfilerOptions profiler_options;
   profiler_options.error_rate = options_.profiling_error;
@@ -74,15 +123,79 @@ SimResult SimulationEngine::run() {
   for (std::size_t round = 0; round < round_limit; ++round) {
     const double now = static_cast<double>(round) * options_.round_seconds;
 
-    // Forced tenant exits: cancel whatever is unfinished.
-    for (const auto& [tenant_id, exit_round] : options_.forced_exit_round) {
-      if (exit_round != round) continue;
-      for (const workload::JobId job_id : trace_.tenants[tenant_id].jobs) {
-        if (!jobs[job_id].finished()) {
-          jobs[job_id].state = workload::JobState::kFinished;
-          job_state[job_id].cancelled = true;
-          ++result.cancelled_jobs;
+    // Apply the churn events due this round, before anything else: a failure
+    // shrinks this very round's capacity vector, a departure frees its
+    // tenant's devices immediately.
+    std::size_t events_applied = 0;
+    for (; next_event < events.size() && events[next_event].round <= round;
+         ++next_event) {
+      const ClusterEvent& event = events[next_event];
+      ++events_applied;
+      switch (event.kind) {
+        case ClusterEventKind::kTenantArrival:
+          // Admission happens through the trace's arrival_time below; the
+          // event only marks the round.
+          break;
+        case ClusterEventKind::kTenantDeparture:
+          if (event.tenant < trace_.tenants.size()) {
+            for (const workload::JobId job_id : trace_.tenants[event.tenant].jobs) {
+              if (!jobs[job_id].finished()) {
+                jobs[job_id].state = workload::JobState::kFinished;
+                job_state[job_id].cancelled = true;
+                ++result.cancelled_jobs;
+              }
+            }
+          }
+          break;
+        case ClusterEventKind::kDemandBurst:
+          bursts[event.tenant] = {event.factor, round + event.duration_rounds};
+          break;
+        case ClusterEventKind::kDeviceFailure: {
+          const cluster::Host& host = cluster_->host(event.host);
+          std::size_t to_fail = event.devices == 0 ? host.devices.size() : event.devices;
+          for (const cluster::DeviceId id : host.devices) {
+            if (to_fail == 0) break;
+            if (device_up[id]) {
+              device_up[id] = 0;
+              --to_fail;
+            }
+          }
+          break;
         }
+        case ClusterEventKind::kDeviceRecovery:
+          for (const cluster::DeviceId id : cluster_->host(event.host).devices) {
+            device_up[id] = 1;
+          }
+          break;
+        case ClusterEventKind::kMixDrift:
+          if (event.gpu_type < k) {
+            type_drift_[event.gpu_type] =
+                std::clamp(type_drift_[event.gpu_type] * event.factor, 0.05, 20.0);
+          }
+          break;
+        case ClusterEventKind::kMisreport: {
+          CheatSpec cheat;
+          cheat.tenant = event.tenant;
+          cheat.factor = event.factor;
+          cheat.from_round = round;
+          active_cheats_.push_back(cheat);
+          break;
+        }
+      }
+    }
+    // Expire finished bursts.
+    for (auto it = bursts.begin(); it != bursts.end();) {
+      it = round >= it->second.second ? bursts.erase(it) : std::next(it);
+    }
+
+    // Surviving per-type capacities after failures/recoveries.
+    std::vector<double> capacities(k, 0.0);
+    std::size_t devices_down = 0;
+    for (const cluster::Device& device : cluster_->devices()) {
+      if (device_up[device.id]) {
+        capacities[device.gpu_type] += 1.0;
+      } else {
+        ++devices_down;
       }
     }
 
@@ -102,6 +215,9 @@ SimResult SimulationEngine::run() {
       RoundRecord idle;
       idle.round = round;
       idle.time_seconds = now;
+      idle.capacities = capacities;
+      idle.devices_down = devices_down;
+      idle.events_applied = events_applied;
       result.rounds.push_back(std::move(idle));
       continue;
     }
@@ -124,33 +240,67 @@ SimResult SimulationEngine::run() {
                   return a->id < b->id;
                 });
       keys.push_back(key);
-      reported_rows.push_back(reported_speedups(*job_list.front(), round));
+      // Speedups come from a stable representative (lowest job id), not the
+      // starvation-ordered front: the front job rotates as the round-robin
+      // progresses, and since batch sizes differ across a group's jobs, tying
+      // the reported row to it would jitter the LP's coefficients every round
+      // and defeat the cross-round warm start even on an event-free round.
+      const workload::Job* representative =
+          *std::min_element(job_list.begin(), job_list.end(),
+                            [](const workload::Job* a, const workload::Job* b) {
+                              return a->id < b->id;
+                            });
+      reported_rows.push_back(reported_speedups(*representative, round));
       multiplicities.push_back(trace_.tenants[key.tenant].weight /
                                static_cast<double>(types_per_tenant[key.tenant]));
     }
     const core::SpeedupMatrix reported(reported_rows);
 
-    // Fair shares from the configured scheduler. The scheduler object (and
-    // with it any warm LP-solver state) lives across all rounds of the run,
-    // so round r+1's solve starts from round r's optimal basis. The
-    // telemetry delta splits this round's compute between LP pricing and
-    // envy separation.
-    const double oracle_before = scheduler->telemetry().oracle_seconds;
-    const auto solve_start = std::chrono::steady_clock::now();
-    const core::Allocation shares = scheduler->allocate(reported, capacities, multiplicities);
-    const double solve_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start)
-            .count();
-    const double oracle_seconds = scheduler->telemetry().oracle_seconds - oracle_before;
-    result.total_solve_seconds += solve_seconds;
+    // Demand bursts scale the affected tenants' weights for their duration.
+    for (std::size_t v = 0; v < keys.size(); ++v) {
+      const auto it = bursts.find(keys[v].tenant);
+      if (it != bursts.end()) multiplicities[v] *= it->second.first;
+    }
 
-    // Stable rounder slots per virtual user.
+    // Stable rounder slots per virtual user — assigned before the solve so
+    // they double as stable identities: the scheduler's identity-keyed warm
+    // state (OEF's recycled envy pool) survives tenant churn.
     std::vector<std::size_t> slots(keys.size());
     for (std::size_t v = 0; v < keys.size(); ++v) {
       const auto [it, inserted] = slot_of.emplace(keys[v], slot_of.size());
       slots[v] = it->second;
       if (inserted) rounder.resize(slot_of.size());
     }
+
+    // Fair shares from the configured scheduler. The scheduler object (and
+    // with it any warm LP-solver state) lives across all rounds of the run,
+    // so round r+1's solve starts from round r's optimal basis. The
+    // telemetry delta splits this round's compute between LP pricing and
+    // envy separation, and flags degradation (non-converged results served,
+    // fallback allocations) per round.
+    const sched::SchedulerTelemetry telemetry_before = scheduler->telemetry();
+    const auto solve_start = std::chrono::steady_clock::now();
+    const core::Allocation shares =
+        scheduler->allocate(reported, capacities, multiplicities, slots);
+    const double solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start)
+            .count();
+    const sched::SchedulerTelemetry telemetry_after = scheduler->telemetry();
+    if (std::getenv("OEF_TRACE_ROUNDS") != nullptr) {
+      std::fprintf(stderr,
+                   "round=%zu events=%zu n=%zu pivots=%zu cold=%zu warm=%zu "
+                   "repairs=%zu\n",
+                   round, events_applied, keys.size(),
+                   telemetry_after.lp_iterations - telemetry_before.lp_iterations,
+                   telemetry_after.lp_cold_solves - telemetry_before.lp_cold_solves,
+                   telemetry_after.lp_warm_resolves + telemetry_after.lp_warm_start_hits -
+                       telemetry_before.lp_warm_resolves -
+                       telemetry_before.lp_warm_start_hits,
+                   telemetry_after.lp_basis_repairs - telemetry_before.lp_basis_repairs);
+    }
+    const double oracle_seconds =
+        telemetry_after.oracle_seconds - telemetry_before.oracle_seconds;
+    result.total_solve_seconds += solve_seconds;
     core::Allocation slot_ideal(slot_of.size(), k);
     std::vector<std::size_t> slot_min_demand(slot_of.size(), 0);
     for (std::size_t v = 0; v < keys.size(); ++v) {
@@ -175,7 +325,7 @@ SimResult SimulationEngine::run() {
       requests[v].grant = grants[slots[v]];
       for (const workload::Job* job : active[keys[v]]) requests[v].jobs.push_back(job);
     }
-    const placement::PlacementPlan plan = packer.pack(requests);
+    const placement::PlacementPlan plan = packer.pack(requests, device_up);
 
     // Execute the round.
     RoundRecord record;
@@ -183,6 +333,13 @@ SimResult SimulationEngine::run() {
     record.time_seconds = now;
     record.solve_seconds = solve_seconds;
     record.oracle_seconds = oracle_seconds;
+    record.capacities = capacities;
+    record.devices_down = devices_down;
+    record.events_applied = events_applied;
+    record.degraded = telemetry_after.degraded_rounds > telemetry_before.degraded_rounds;
+    record.fallback = telemetry_after.fallback_rounds > telemetry_before.fallback_rounds;
+    if (record.degraded) ++result.degraded_rounds;
+    if (record.fallback) ++result.fallback_rounds;
     record.cross_type_jobs = plan.cross_type_jobs;
     record.cross_host_jobs = plan.cross_host_jobs;
     record.straggler_workers = plan.straggler_workers;
@@ -258,6 +415,13 @@ SimResult SimulationEngine::run() {
     result.total_straggler_workers += record.straggler_workers;
     result.total_migrations += record.migrated_jobs;
     result.rounds.push_back(std::move(record));
+
+    if (options_.cold_restart_scheduler) {
+      // Bench arm: every round pays the full cold price — no warm basis, no
+      // recycled envy rows, no identity-keyed state across churn.
+      retired_telemetry.merge(scheduler->telemetry());
+      scheduler = sched::make_scheduler(options_.scheduler, oef_options);
+    }
   }
 
   if (result.makespan_seconds == 0.0 && !result.rounds.empty()) {
@@ -265,6 +429,7 @@ SimResult SimulationEngine::run() {
         result.rounds.back().time_seconds + options_.round_seconds;
   }
   result.scheduler_telemetry = scheduler->telemetry();
+  result.scheduler_telemetry.merge(retired_telemetry);
   return result;
 }
 
@@ -280,7 +445,17 @@ std::vector<double> SimulationEngine::reported_speedups(const workload::Job& job
   workload::Profiler profiler(*catalog_, gpu_names_, profiler_options);
   std::vector<double> speeds = profiler.profile(zoo_->get(job.model_name), job.batch_size);
 
-  for (const CheatSpec& cheat : options_.cheats) {
+  // Heterogeneity-mix drift shifts the reported speed ratios of the non-base
+  // types (the base type is the normalisation anchor and never drifts).
+  if (!type_drift_.empty()) {
+    for (std::size_t j = 1; j < speeds.size(); ++j) {
+      speeds[j] = std::max(0.05, speeds[j] * type_drift_[j]);
+    }
+  }
+
+  // Misreports in effect (fed from the unified event stream; SimOptions::
+  // cheats entries arrive here as kMisreport events).
+  for (const CheatSpec& cheat : active_cheats_) {
     if (cheat.tenant != job.tenant || round < cheat.from_round) continue;
     for (std::size_t j = 1; j < speeds.size(); ++j) {
       speeds[j] = std::max(1.0, speeds[j] * cheat.factor);

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "core/oef.h"
 #include "placement/packer.h"
 #include "placement/rounding.h"
+#include "sim/events.h"
 #include "sim/metrics.h"
 #include "workload/dl_models.h"
 #include "workload/gpu_catalog.h"
@@ -58,11 +60,30 @@ struct SimOptions {
   double multi_gpu_scaling = 0.95;
   double migration_seconds = 30.0;
 
-  /// Misreporting tenants (Fig. 4b).
+  /// Misreporting tenants (Fig. 4b). Folded into the unified event stream at
+  /// run() start (one kMisreport event per entry); kept for compatibility.
   std::vector<CheatSpec> cheats;
   /// Tenants forced to leave (round index); their unfinished jobs are
-  /// cancelled (Fig. 4's user-4 exit).
+  /// cancelled (Fig. 4's user-4 exit). Folded into the event stream as
+  /// kTenantDeparture events; kept for compatibility.
   std::map<workload::TenantId, std::size_t> forced_exit_round;
+
+  /// Dynamic-cluster mode: churn events applied at the top of their round
+  /// (see sim/events.h; generate_event_schedule builds seeded schedules).
+  std::vector<ClusterEvent> events;
+  /// Options threaded into the OEF schedulers (solve deadline, solver knobs);
+  /// baselines ignore them.
+  core::OefOptions oef;
+  /// Deterministic solver-fault injection (eta corruption / forced basis
+  /// deficiencies inside the LP engine); zero rates disable it.
+  double fault_eta_corruption_rate = 0.0;
+  double fault_basis_fault_rate = 0.0;
+  double fault_corruption_factor = 1e3;
+  std::uint64_t fault_seed = 0x5eedULL;
+  /// Bench arm: tear the scheduler down and rebuild it every round, so every
+  /// solve runs cold (no warm basis, no recycled envy rows). Telemetry is
+  /// accumulated across the per-round instances.
+  bool cold_restart_scheduler = false;
 };
 
 class SimulationEngine {
@@ -93,6 +114,11 @@ class SimulationEngine {
   const workload::ModelZoo* zoo_;
   workload::Trace trace_;
   SimOptions options_;
+  /// Churn state mutated by events during run(): misreports in effect (the
+  /// unified stream's kMisreport entries) and per-type mix-drift multipliers
+  /// applied to every reported speedup row.
+  std::vector<CheatSpec> active_cheats_;
+  std::vector<double> type_drift_;
 };
 
 /// Convenience wrapper: construct, run, return.

@@ -37,6 +37,17 @@ struct RoundRecord {
   /// Portion of solve_seconds spent inside the envy separation oracle
   /// (cooperative OEF; zero for schedulers without one).
   double oracle_seconds = 0.0;
+  /// The surviving per-type capacities this round's shares were computed
+  /// against (equals the cluster's full capacities when nothing is down).
+  std::vector<double> capacities;
+  /// Devices down due to unrecovered failures at this round.
+  std::size_t devices_down = 0;
+  /// Cluster events applied at the top of this round.
+  std::size_t events_applied = 0;
+  /// Scheduler degradation this round: served a non-converged (degraded) LP
+  /// result / served the last-feasible fallback because the allocator failed.
+  bool degraded = false;
+  bool fallback = false;
 };
 
 struct SimResult {
@@ -46,6 +57,9 @@ struct SimResult {
   std::size_t finished_jobs = 0;
   std::size_t cancelled_jobs = 0;
   double makespan_seconds = 0.0;
+  /// Rounds served degraded / from the scheduler fallback (see RoundRecord).
+  std::size_t degraded_rounds = 0;
+  std::size_t fallback_rounds = 0;
 
   /// Sum over rounds of per-round totals (for quick comparisons).
   double total_estimated = 0.0;

@@ -55,6 +55,10 @@ class BasisImpl {
     return kEmpty;
   }
 
+  /// Fault injection (see Basis::corrupt_last_eta). Representations without
+  /// a product-form update file have nothing to corrupt.
+  virtual bool corrupt_last_eta(double /*factor*/) { return false; }
+
  protected:
   /// Drops the sorted `positions` from basic_ and renumbers the survivors.
   void delete_basic_positions(const std::vector<std::size_t>& positions,
@@ -400,6 +404,12 @@ class FactoredLuBasis final : public BasisImpl {
 
   const std::vector<std::pair<std::size_t, std::size_t>>& deficiency() const override {
     return deficiency_;
+  }
+
+  bool corrupt_last_eta(double factor) override {
+    if (etas_.empty()) return false;
+    etas_.back().pivot *= factor;
+    return true;
   }
 
  private:
@@ -754,5 +764,6 @@ std::size_t Basis::factor_entries() const { return impl_->factor_entries(); }
 const std::vector<std::pair<std::size_t, std::size_t>>& Basis::deficiency() const {
   return impl_->deficiency();
 }
+bool Basis::corrupt_last_eta(double factor) { return impl_->corrupt_last_eta(factor); }
 
 }  // namespace oef::solver

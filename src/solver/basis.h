@@ -136,6 +136,12 @@ class Basis {
   [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>& deficiency()
       const;
 
+  /// Fault injection: scales the newest product-form eta's pivot element by
+  /// `factor`, emulating accumulated update drift. Returns true when a fault
+  /// landed; false for the dense representation (exact after every pivot, no
+  /// eta file) or an empty eta file.
+  bool corrupt_last_eta(double factor);
+
  private:
   std::unique_ptr<internal::BasisImpl> impl_;
 };

@@ -1,0 +1,18 @@
+#include "solver/fault_injector.h"
+
+namespace oef::solver {
+
+FaultInjector::FaultInjector(FaultInjectorConfig config)
+    : config_(config), rng_(config.seed) {}
+
+bool FaultInjector::roll_eta_corruption() {
+  if (config_.eta_corruption_rate <= 0.0) return false;
+  return rng_.uniform() < config_.eta_corruption_rate;
+}
+
+bool FaultInjector::roll_basis_fault() {
+  if (config_.basis_fault_rate <= 0.0) return false;
+  return rng_.uniform() < config_.basis_fault_rate;
+}
+
+}  // namespace oef::solver

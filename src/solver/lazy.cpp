@@ -1,5 +1,6 @@
 #include "solver/lazy.h"
 
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -34,8 +35,26 @@ LazySolveResult LazyConstraintSolver::solve(LpSolver& solver, LpModel& model,
                                             const SeparationOracle& oracle) const {
   LazySolveResult result;
   const double seconds_before = solver.stats().solve_seconds;
+  const auto deadline_start = std::chrono::steady_clock::now();
+  const auto deadline_elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         deadline_start)
+        .count();
+  };
   bool cold_reload = false;
   for (result.rounds = 1; result.rounds <= max_rounds_; ++result.rounds) {
+    // Anytime behaviour: once a relaxation optimum exists, an expired
+    // deadline hands it back instead of separating further. Round 1 always
+    // runs — without it there is nothing feasible to return at all.
+    if (deadline_seconds_ > 0.0 && result.rounds > 1 &&
+        deadline_elapsed() > deadline_seconds_) {
+      result.deadline_expired = true;
+      --result.rounds;  // the aborted round never ran
+      common::log_debug("lazy solver: deadline expired after " +
+                        std::to_string(result.rounds) + " round(s); returning the " +
+                        "last relaxation optimum");
+      return result;
+    }
     // Round 1 loads the model (possibly reusing the basis of a previous
     // same-shaped session); later rounds repair the basis incrementally,
     // except right after a compaction, which changed the model's shape.
@@ -67,7 +86,10 @@ LazySolveResult LazyConstraintSolver::solve(LpSolver& solver, LpModel& model,
       // and duals survive — the new violations then append onto the warm
       // basis as usual. If the in-place excision is refused the loop falls
       // back to the original behaviour: reload the shrunken model cold.
-      OEF_CHECK(permanent_rows_ <= model.num_constraints());
+      // A permanent prefix longer than the model is caller misconfiguration
+      // of enable_compaction — recoverable, so throw instead of aborting.
+      OEF_REQUIRE_MSG(permanent_rows_ <= model.num_constraints(),
+                      "compaction permanent_rows exceeds the working model");
       const auto& constraints = model.constraints();
       std::vector<std::size_t> drop;
       for (std::size_t c = permanent_rows_; c < constraints.size(); ++c) {

@@ -44,6 +44,10 @@ struct LazySolveResult {
   std::size_t warm_compactions = 0;
   /// True when the final solution satisfies the oracle.
   bool converged = false;
+  /// True when the loop stopped because the wall-clock deadline expired; the
+  /// reported solution is the last relaxation's optimum (capacity-feasible,
+  /// envy rows approximate), not converged.
+  bool deadline_expired = false;
   /// Rounds >= 2 completed by a warm (dual-simplex) resolve.
   std::size_t warm_rounds = 0;
   /// Simplex pivots across all rounds.
@@ -81,6 +85,13 @@ class LazyConstraintSolver {
     compaction_ = true;
   }
 
+  /// Wall-clock budget for one solve() call, in seconds; 0 disables the
+  /// deadline. Checked between rounds: once a first relaxation optimum
+  /// exists, an expired deadline returns it immediately (deadline_expired
+  /// set, converged false) instead of separating further — the anytime
+  /// behaviour the scheduler's degradation ladder builds on.
+  void set_deadline(double seconds) { deadline_seconds_ = seconds; }
+
   /// Solves `model` (which is extended in place with the generated rows)
   /// using a throwaway solver instance.
   [[nodiscard]] LazySolveResult solve(LpModel& model, const SeparationOracle& oracle) const;
@@ -98,6 +109,7 @@ class LazyConstraintSolver {
   std::size_t permanent_rows_ = 0;
   std::size_t max_rows_ = 0;
   double compaction_slack_tol_ = 1e-5;
+  double deadline_seconds_ = 0.0;
 };
 
 }  // namespace oef::solver

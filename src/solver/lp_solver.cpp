@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "solver/basis.h"
+#include "solver/fault_injector.h"
 #include "solver/sparse_matrix.h"
 #include "solver/standard_form.h"
 
@@ -19,7 +20,9 @@ void LpSolverStats::merge(const LpSolverStats& other) {
   cold_solves += other.cold_solves;
   warm_resolves += other.warm_resolves;
   warm_start_hits += other.warm_start_hits;
+  dense_fallbacks += other.dense_fallbacks;
   tableau_fallbacks += other.tableau_fallbacks;
+  basis_repairs += other.basis_repairs;
   total_iterations += other.total_iterations;
   solve_seconds += other.solve_seconds;
 }
@@ -100,6 +103,14 @@ class LpSolver::Core {
   [[nodiscard]] std::size_t phase1_iterations() const { return phase1_iterations_; }
   [[nodiscard]] std::size_t dual_iterations() const { return dual_iterations_; }
 
+  /// Deficient basis positions repaired since the last harvest; resets the
+  /// counter so LpSolver can accumulate deltas into its stats.
+  [[nodiscard]] std::size_t take_basis_repairs() {
+    const std::size_t repairs = basis_repairs_;
+    basis_repairs_ = 0;
+    return repairs;
+  }
+
  private:
   void fill_column(std::size_t col, std::vector<double>& out) const;
   /// B^-1 A_col via the sparse ftran (dense gather in the reference arm).
@@ -112,6 +123,8 @@ class LpSolver::Core {
                        std::vector<double>& out) const;
   [[nodiscard]] bool refactor();
   [[nodiscard]] bool refactor_if_due(const SolverOptions& options);
+  void inject_basis_fault();
+  void maybe_corrupt_eta();
   void refresh_xb();
   void rebuild_basis_flags();
   void set_at_upper(std::size_t col, bool value);
@@ -167,6 +180,8 @@ class LpSolver::Core {
   std::size_t iterations_ = 0;
   std::size_t phase1_iterations_ = 0;
   std::size_t dual_iterations_ = 0;
+  std::size_t basis_repairs_ = 0;
+  FaultInjector* injector_ = nullptr;  // non-owning; from SolverOptions
 };
 
 void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
@@ -289,6 +304,8 @@ void LpSolver::Core::load(const LpModel& model, const SolverOptions& options) {
   max_iterations_ = options.max_iterations != 0 ? options.max_iterations
                                                 : 200 * (m_ + num_cols_) + 10000;
   iterations_ = phase1_iterations_ = dual_iterations_ = 0;
+  basis_repairs_ = 0;
+  injector_ = options.fault_injector;
 }
 
 void LpSolver::Core::fill_column(std::size_t col, std::vector<double>& out) const {
@@ -319,7 +336,32 @@ void LpSolver::Core::accumulate_vt_a(const std::vector<double>& v, double factor
   }
 }
 
+void LpSolver::Core::inject_basis_fault() {
+  // Duplicate one basic column: the basis matrix turns structurally singular,
+  // so the next refactorisation reports a deficiency and the repair loop
+  // below must patch it — the exact path real update drift exercises.
+  if (m_ < 2) return;
+  std::vector<std::size_t> patched = basis_.basic();
+  for (std::size_t a = 0; a + 1 < m_; ++a) {
+    if (patched[a] != patched[a + 1]) {
+      patched[a] = patched[a + 1];
+      basis_.set_basic(std::move(patched));
+      rebuild_basis_flags();
+      injector_->note_basis_fault();
+      return;
+    }
+  }
+}
+
+void LpSolver::Core::maybe_corrupt_eta() {
+  if (injector_ != nullptr && injector_->roll_eta_corruption() &&
+      basis_.corrupt_last_eta(injector_->corruption_factor())) {
+    injector_->note_eta_corruption();
+  }
+}
+
 bool LpSolver::Core::refactor() {
+  if (injector_ != nullptr && injector_->roll_basis_fault()) inject_basis_fault();
   if (basis_.refactor(cols_)) return true;
   // Basis repair. A refactorisation can come up deficient when accumulated
   // update drift let a pivot adopt a column the true basis does not admit
@@ -348,6 +390,7 @@ bool LpSolver::Core::refactor() {
       rebuild_basis_flags();
       return false;
     }
+    basis_repairs_ += repairs;
     common::log_debug("lp_solver: repaired " + std::to_string(repairs) +
                       " deficient basis position(s) with unit columns");
     basis_.set_basic(std::move(patched));
@@ -613,6 +656,7 @@ SolveStatus LpSolver::Core::run_primal(bool phase1, const SolverOptions& options
       set_at_upper(enter, false);
       set_at_upper(leaving_col, leave_at_upper);
       basis_.pivot(leave, enter, w);
+      maybe_corrupt_eta();
       ++iterations_;
       if (phase1) ++phase1_iterations_;
       if (devex_ && !bland) update_primal_devex(rho, enter, leaving_col, w[leave]);
@@ -759,6 +803,7 @@ SolveStatus LpSolver::Core::run_dual(const SolverOptions& options) {
     set_at_upper(leaving_col, above);
     if (devex_ && !bland) update_dual_devex(w, leave);
     basis_.pivot(leave, enter, w);
+    maybe_corrupt_eta();
     ++iterations_;
     ++dual_iterations_;
 
@@ -881,7 +926,29 @@ SolveStatus LpSolver::Core::run_warm_from(const Core& prior, const SolverOptions
     if (in_basis_[j] || artificial_[j]) continue;
     if (at_upper_[j] ? d[j] > 1e-7 : d[j] < -1e-7) dual_feasible = false;
   }
-  if (!dual_feasible) return SolveStatus::kIterationLimit;  // neither: cold start
+  if (!dual_feasible) {
+    // Neither feasible: simultaneous cost/coefficient and activity drift
+    // (e.g. a demand burst rescaling both the objective and the envy rows).
+    // Classic cost-shifting rescue (dual phase 1): temporarily shift each
+    // offending nonbasic cost so the restored basis IS dual feasible, let
+    // the dual simplex restore primal feasibility, then drop the shifts and
+    // polish with primal pivots from the now-feasible vertex. Far cheaper
+    // than discarding the basis: the vertex is near-optimal already.
+    std::vector<std::pair<std::size_t, double>> shifts;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (in_basis_[j] || artificial_[j]) continue;
+      if (at_upper_[j] ? d[j] > 1e-7 : d[j] < -1e-7) {
+        shifts.push_back({j, d[j]});
+        cost_[j] -= d[j];
+      }
+    }
+    const SolveStatus shifted = run_dual(options);
+    for (const auto& [j, delta] : shifts) cost_[j] += delta;
+    // Non-optimal here says nothing definite about the true problem (the
+    // costs were shifted); report iteration-limit so the caller cold-solves.
+    if (shifted != SolveStatus::kOptimal) return SolveStatus::kIterationLimit;
+    return run_primal(/*phase1=*/false, options);
+  }
   const SolveStatus status = run_dual(options);
   if (status != SolveStatus::kOptimal) return status;
   // Dual pivots restored primal feasibility; polish any remaining reduced
@@ -1170,26 +1237,51 @@ LpSolver& LpSolver::operator=(const LpSolver& other) {
 bool LpSolver::has_basis() const { return core_ != nullptr && incremental_ok_; }
 
 LpSolution LpSolver::solve_loaded_cold() {
+  // Cold rungs of the degradation ladder. The caller already exhausted any
+  // warm option, so escalation is deterministic from here: (1) revised
+  // simplex with the configured basis representation; (2) if that was the
+  // factored LU, the same solve with the exact dense B^-1 (immune to eta
+  // drift and deficiency repair, at O(m^2) per pivot); (3) the reference
+  // full-tableau solver, which shares no basis machinery at all — and never
+  // consults the fault injector — so it terminates the ladder.
   LpSolution solution;
-  auto core = std::make_unique<Core>();
-  core->load(model_, options_);
-  solution.status = core->run_cold(options_);
+  const auto attempt = [&](const SolverOptions& options) -> std::unique_ptr<Core> {
+    auto core = std::make_unique<Core>();
+    core->load(model_, options);
+    solution = LpSolution{};
+    solution.status = core->run_cold(options);
+    stats_.total_iterations += core->iterations();
+    stats_.basis_repairs += core->take_basis_repairs();
+    if (solution.status == SolveStatus::kOptimal) {
+      core->extract(model_, solution);
+      if (model_.is_feasible(solution.values, 1e-6)) return core;
+    }
+    return nullptr;
+  };
+
   ++stats_.cold_solves;
-  stats_.total_iterations += core->iterations();
-  if (solution.status == SolveStatus::kOptimal) {
-    core->extract(model_, solution);
-    if (model_.is_feasible(solution.values, 1e-6)) {
+  if (auto core = attempt(options_)) {
+    core_ = std::move(core);
+    incremental_ok_ = true;
+    return solution;
+  }
+  if (options_.basis_kind != BasisKind::kDense) {
+    common::log_debug("lp_solver: cold factored solve failed (" +
+                      to_string(solution.status) + "); retrying with the dense basis");
+    ++stats_.dense_fallbacks;
+    SolverOptions dense = options_;
+    dense.basis_kind = BasisKind::kDense;
+    if (auto core = attempt(dense)) {
       core_ = std::move(core);
       incremental_ok_ = true;
       return solution;
     }
   }
-  // Revised path failed or produced an unverifiable point: reference tableau.
-  // The fallback is dramatically slower on large models, so its trigger is
-  // worth a log line (to_string names the revised outcome).
-  common::log_debug("lp_solver: cold revised solve fell back to the tableau (" +
-                    to_string(solution.status) + " after " +
-                    std::to_string(core->iterations()) + " pivots)");
+  // Every revised rung failed or produced an unverifiable point: reference
+  // tableau. Dramatically slower on large models, so its trigger is worth a
+  // log line (to_string names the last revised outcome).
+  common::log_debug("lp_solver: revised ladder exhausted (" + to_string(solution.status) +
+                    "); falling back to the reference tableau");
   ++stats_.tableau_fallbacks;
   core_.reset();
   incremental_ok_ = false;
@@ -1221,6 +1313,7 @@ LpSolution LpSolver::solve(const LpModel& model) {
       LpSolution solution;
       solution.status = core->run_warm_from(*previous, options_);
       stats_.total_iterations += core->iterations();
+      stats_.basis_repairs += core->take_basis_repairs();
       if (solution.status == SolveStatus::kOptimal) {
         core->extract(model_, solution);
         if (model_.is_feasible(solution.values, 1e-6)) {
@@ -1246,11 +1339,18 @@ bool LpSolver::delete_rows(const std::vector<std::size_t>& row_indices) {
   std::vector<std::size_t> sorted = row_indices;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  for (const std::size_t r : sorted) OEF_CHECK(r < model_.num_constraints());
+  // Out-of-range indices are caller misconfiguration at a module boundary
+  // (LazyConstraintSolver and embedders drive this API), so report them as a
+  // catchable CheckError rather than aborting; see check.h for the policy.
+  for (const std::size_t r : sorted) {
+    OEF_REQUIRE_MSG(r < model_.num_constraints(),
+                    "delete_rows index past the loaded model's constraints");
+  }
 
   bool warm = false;
   if (options_.algorithm != LpAlgorithm::kTableau && core_ && incremental_ok_) {
     warm = core_->delete_rows(sorted, options_);
+    stats_.basis_repairs += core_->take_basis_repairs();
     if (!warm) {
       // Either some row had no basic unit column (so the excision would
       // leave a singular basis) or the reduced refactorisation failed; the
@@ -1300,6 +1400,7 @@ LpSolution LpSolver::resolve() {
   LpSolution solution;
   solution.status = core_->run_resolve(options_);
   stats_.total_iterations += core_->iterations();
+  stats_.basis_repairs += core_->take_basis_repairs();
   if (solution.status == SolveStatus::kOptimal) {
     core_->extract(model_, solution);
     if (model_.is_feasible(solution.values, 1e-6)) {

@@ -53,8 +53,16 @@ struct LpSolverStats {
   std::size_t warm_resolves = 0;
   /// solve() calls completed by reusing the previous basis.
   std::size_t warm_start_hits = 0;
-  /// Revised-path failures answered by the reference tableau solver.
+  /// Cold factored-basis failures retried with the exact dense B^-1 — the
+  /// middle rung of the degradation ladder (warm resolve → cold factored →
+  /// cold dense → tableau).
+  std::size_t dense_fallbacks = 0;
+  /// Revised-path failures answered by the reference tableau solver (the
+  /// ladder's final rung).
   std::size_t tableau_fallbacks = 0;
+  /// Deficient basis positions patched with unit columns during
+  /// refactorisation (the singular-basis repair path; see Core::refactor).
+  std::size_t basis_repairs = 0;
   /// Simplex pivots across all calls (primal + dual, all phases).
   std::size_t total_iterations = 0;
   /// Wall-clock seconds spent inside solve()/resolve().
@@ -110,8 +118,9 @@ class LpSolver {
  private:
   class Core;
 
-  /// Cold-solves the currently loaded model_ (revised first, tableau
-  /// fallback), updating stats. Does not attempt any warm start.
+  /// Cold-solves the currently loaded model_ down the degradation ladder
+  /// (revised with the configured basis, then the exact dense basis, then the
+  /// reference tableau), updating stats. Does not attempt any warm start.
   [[nodiscard]] LpSolution solve_loaded_cold();
 
   SolverOptions options_;

@@ -19,6 +19,8 @@
 
 namespace oef::solver {
 
+class FaultInjector;
+
 enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 [[nodiscard]] std::string to_string(SolveStatus status);
@@ -70,6 +72,11 @@ struct SolverOptions {
   /// pricing passes instead of dense rows. Identical pivots and results —
   /// false keeps the dense reference arm for benchmarking.
   bool sparse_pricing = true;
+  /// Deterministic fault injection (see fault_injector.h). Non-owning: the
+  /// injector must outlive every solver carrying these options. nullptr (the
+  /// default) disables injection entirely. The tableau reference path never
+  /// consults it, which is what makes the ladder's last rung immune.
+  FaultInjector* fault_injector = nullptr;
 };
 
 struct LpSolution {
