@@ -1,0 +1,21 @@
+#include "common/check.h"
+
+namespace oef::common {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kPreconditionFailed:
+      return "precondition_failed";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kDimensionMismatch:
+      return "dimension_mismatch";
+    case ErrorCode::kBadState:
+      return "bad_state";
+    case ErrorCode::kCorruptData:
+      return "corrupt_data";
+  }
+  return "unknown";
+}
+
+}  // namespace oef::common

@@ -11,12 +11,17 @@
 //     *recoverable conditions at module boundaries* — malformed caller input
 //     (bad sizes, non-positive weights) and bookkeeping that an embedding
 //     system can reasonably mis-configure. Callers that serve requests (the
-//     scheduler's degradation ladder, experiment drivers) catch CheckError
-//     and degrade instead of dying.
+//     scheduler's degradation ladder, the allocator daemon, experiment
+//     drivers) catch CheckError and degrade instead of dying.
 //   * Conditions that occur in normal operation (singular bases, iteration
 //     limits, oracle non-convergence) are not assertions at all: they are
 //     reported through status enums (SolveStatus, AllocationStatus) so every
 //     layer can escalate deliberately.
+//
+// Since PR 9 every CheckError carries a stable ErrorCode and the module tag
+// of the throwing file (derived from its src/ subdirectory), so boundary
+// handlers — in particular the daemon's CheckError → protocol status mapping
+// — dispatch on code() instead of string-matching what().
 #pragma once
 
 #include <cstdio>
@@ -26,13 +31,58 @@
 
 namespace oef::common {
 
+/// Stable classification of a CheckError, independent of the message text.
+/// Values are part of the checkpoint/protocol surface: append new codes, do
+/// not renumber.
+enum class ErrorCode {
+  /// A guarded precondition failed with no finer classification (the default
+  /// for plain OEF_REQUIRE).
+  kPreconditionFailed = 0,
+  /// Malformed caller input: bad value, non-positive weight, unknown id.
+  kInvalidArgument = 1,
+  /// Caller input with inconsistent shapes (row arity vs capacity count).
+  kDimensionMismatch = 2,
+  /// API used out of sequence (e.g. incremental call before any solve).
+  kBadState = 3,
+  /// A serialized artifact (checkpoint, wire payload) failed to parse or
+  /// failed its integrity check.
+  kCorruptData = 4,
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
 /// Thrown by OEF_REQUIRE at recoverable module boundaries. Derives from
 /// std::runtime_error so generic handlers (and tests) can catch it without
-/// including this header.
+/// including this header; handlers that can act on the classification use
+/// code() and module() instead of parsing what().
 class CheckError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit CheckError(const std::string& what,
+                      ErrorCode code = ErrorCode::kPreconditionFailed,
+                      std::string module = {})
+      : std::runtime_error(what), code_(code), module_(std::move(module)) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  /// Top-level src/ subdirectory of the throwing file ("solver", "core",
+  /// "service", ...); empty when not derivable.
+  [[nodiscard]] const std::string& module() const { return module_; }
+
+ private:
+  ErrorCode code_;
+  std::string module_;
 };
+
+/// Module tag from a __FILE__ path: the path component after the last "src/"
+/// (so nested build paths still resolve), empty when absent.
+[[nodiscard]] inline std::string module_from_path(const char* file) {
+  const std::string path(file);
+  const std::size_t src = path.rfind("src/");
+  if (src == std::string::npos) return {};
+  const std::size_t begin = src + 4;
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string::npos) return {};
+  return path.substr(begin, slash - begin);
+}
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const char* msg) {
@@ -42,7 +92,7 @@ class CheckError : public std::runtime_error {
 }
 
 [[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
-                                        const char* msg) {
+                                        const char* msg, ErrorCode code) {
   std::string what = "OEF_REQUIRE failed: ";
   what += expr;
   what += " at ";
@@ -53,7 +103,7 @@ class CheckError : public std::runtime_error {
     what += " — ";
     what += msg;
   }
-  throw CheckError(what);
+  throw CheckError(what, code, module_from_path(file));
 }
 
 }  // namespace oef::common
@@ -68,12 +118,24 @@ class CheckError : public std::runtime_error {
     if (!(expr)) ::oef::common::check_failed(#expr, __FILE__, __LINE__, msg); \
   } while (false)
 
-#define OEF_REQUIRE(expr)                                                     \
-  do {                                                                        \
-    if (!(expr)) ::oef::common::require_failed(#expr, __FILE__, __LINE__, ""); \
+#define OEF_REQUIRE(expr)                                                      \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::oef::common::require_failed(#expr, __FILE__, __LINE__, "",             \
+                                    ::oef::common::ErrorCode::kPreconditionFailed); \
   } while (false)
 
-#define OEF_REQUIRE_MSG(expr, msg)                                              \
-  do {                                                                          \
-    if (!(expr)) ::oef::common::require_failed(#expr, __FILE__, __LINE__, msg); \
+#define OEF_REQUIRE_MSG(expr, msg)                                             \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::oef::common::require_failed(#expr, __FILE__, __LINE__, msg,            \
+                                    ::oef::common::ErrorCode::kPreconditionFailed); \
+  } while (false)
+
+/// OEF_REQUIRE with an explicit ErrorCode, for boundaries whose failures a
+/// serving layer maps to protocol status codes.
+#define OEF_REQUIRE_CODE(expr, code, msg)                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::oef::common::require_failed(#expr, __FILE__, __LINE__, msg, code); \
   } while (false)

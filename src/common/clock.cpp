@@ -1,0 +1,29 @@
+#include "common/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace oef::common {
+
+namespace {
+
+// Bit-cast through an atomic<long long> of nanoseconds so concurrent readers
+// (daemon worker + connection threads) see a consistent offset without locks.
+std::atomic<long long> g_test_offset_ns{0};
+
+}  // namespace
+
+double monotonic_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const long long ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+      g_test_offset_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(ns) * 1e-9;
+}
+
+void advance_for_testing(double seconds) {
+  g_test_offset_ns.fetch_add(static_cast<long long>(seconds * 1e9),
+                             std::memory_order_relaxed);
+}
+
+}  // namespace oef::common

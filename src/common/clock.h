@@ -1,0 +1,76 @@
+// Monotonic time for every deadline and duration in the repository.
+//
+// Deadlines used to be computed ad hoc from std::chrono::steady_clock at each
+// call site, and budgets were re-measured as relative elapsed time at every
+// layer they crossed (scheduler → allocator → lazy loop). That composes badly
+// in a long-lived daemon: a request's budget must be pinned to one absolute
+// monotonic instant at arrival so that queueing delay, coalescing delay and
+// solve time all draw down the same budget — and it must never involve the
+// wall clock, which steps under NTP and suspend/resume.
+//
+// This header is the single source of monotonic "now":
+//   * monotonic_seconds() — seconds on a monotonic clock with an arbitrary
+//     epoch. Differences are meaningful; absolute values are not.
+//   * Deadline — an absolute monotonic expiry instant built from a relative
+//     budget once, then passed by value across layers. Deadline::none() never
+//     expires.
+//
+// Tests can shift the observed clock forward with advance_for_testing() to
+// exercise expiry paths without sleeping.
+#pragma once
+
+namespace oef::common {
+
+/// Seconds on the process-wide monotonic clock (arbitrary epoch, never steps
+/// backwards). Includes any offset applied by advance_for_testing().
+[[nodiscard]] double monotonic_seconds();
+
+/// Test hook: shifts every subsequent monotonic_seconds() reading forward by
+/// `seconds` (cumulative). Simulates a suspend/step without sleeping; only
+/// ever call from single-threaded test setup.
+void advance_for_testing(double seconds);
+
+/// Absolute expiry instant on the monotonic clock. Copyable, layer-crossing:
+/// construct once at request arrival (`Deadline::after(budget)`), then every
+/// stage asks `remaining()` / `expired()` against the same instant instead of
+/// re-anchoring a relative budget at its own start.
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  [[nodiscard]] static Deadline none() { return Deadline(); }
+
+  /// Expires `budget_seconds` from now; non-positive budgets are already
+  /// expired (but still a real deadline, unlike none()).
+  [[nodiscard]] static Deadline after(double budget_seconds) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.expiry_ = monotonic_seconds() + budget_seconds;
+    return d;
+  }
+
+  [[nodiscard]] bool is_none() const { return !has_deadline_; }
+  [[nodiscard]] bool expired() const {
+    return has_deadline_ && monotonic_seconds() >= expiry_;
+  }
+
+  /// Seconds until expiry: never negative; a huge sentinel for none().
+  [[nodiscard]] double remaining() const {
+    if (!has_deadline_) return kNever;
+    const double left = expiry_ - monotonic_seconds();
+    return left > 0.0 ? left : 0.0;
+  }
+
+  /// The earlier of two deadlines (none() is later than everything).
+  [[nodiscard]] static Deadline earlier(const Deadline& a, const Deadline& b) {
+    if (a.is_none()) return b;
+    if (b.is_none()) return a;
+    return a.expiry_ <= b.expiry_ ? a : b;
+  }
+
+ private:
+  static constexpr double kNever = 1e18;
+  bool has_deadline_ = false;
+  double expiry_ = 0.0;
+};
+
+}  // namespace oef::common

@@ -1,7 +1,6 @@
 #include "core/oef.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <thread>
@@ -10,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "solver/checkpoint.h"
 #include "solver/lp_model.h"
 
 namespace oef::core {
@@ -447,7 +447,7 @@ AllocationResult OefAllocator::solve_cooperative(
   double oracle_seconds = 0.0;
 
   const auto oracle = [&](const std::vector<double>& point) {
-    const auto oracle_start = std::chrono::steady_clock::now();
+    const double oracle_start = common::monotonic_seconds();
     std::vector<std::vector<std::pair<double, std::size_t>>> top(n);
     const auto scan_users = [&](std::size_t begin, std::size_t end) {
       std::vector<std::pair<double, std::size_t>> gaps;
@@ -492,9 +492,7 @@ AllocationResult OefAllocator::solve_cooperative(
         added[l * n + i] = 1;
       }
     }
-    oracle_seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                    oracle_start)
-                          .count();
+    oracle_seconds += common::monotonic_seconds() - oracle_start;
     return violated;
   };
 
@@ -507,6 +505,9 @@ AllocationResult OefAllocator::solve_cooperative(
   }
   if (options_.solve_deadline_seconds > 0.0) {
     lazy.set_deadline(options_.solve_deadline_seconds);
+  }
+  if (!options_.deadline.is_none()) {
+    lazy.set_deadline(options_.deadline);
   }
   const solver::LazySolveResult lazy_result = lazy.solve(coop_solver_, model, oracle);
   result.status = lazy_result.solution.status;
@@ -578,6 +579,41 @@ AllocationResult OefAllocator::solve_cooperative(
     envy_pool_users_ = n;
   }
   return result;
+}
+
+void OefAllocator::save_warm_state(common::SerialWriter& out) const {
+  out.u64(mode_ == Mode::kCooperative ? 1 : 0);
+  out.u64(envy_pool_users_);
+  out.u64(envy_pool_.size());
+  for (const PooledEnvyRow& row : envy_pool_) {
+    out.u64(row.envier);
+    out.u64(row.envied);
+    out.u64(row.binding ? 1 : 0);
+  }
+  solver::write_warm_state(out, coop_solver_);
+  solver::write_warm_state(out, noncoop_solver_);
+}
+
+bool OefAllocator::load_warm_state(common::SerialReader& in) {
+  const std::uint64_t mode_tag = in.u64();
+  OEF_REQUIRE_CODE(mode_tag <= 1, common::ErrorCode::kCorruptData,
+                   "bad allocator mode tag");
+  OEF_REQUIRE_CODE((mode_tag == 1) == (mode_ == Mode::kCooperative),
+                   common::ErrorCode::kInvalidArgument,
+                   "checkpoint was taken under the other allocator mode");
+  envy_pool_users_ = static_cast<std::size_t>(in.u64());
+  const std::uint64_t pool_size = in.u64();
+  envy_pool_.clear();
+  for (std::uint64_t i = 0; i < pool_size; ++i) {
+    PooledEnvyRow row;
+    row.envier = static_cast<std::size_t>(in.u64());
+    row.envied = static_cast<std::size_t>(in.u64());
+    row.binding = in.u64() != 0;
+    envy_pool_.push_back(row);
+  }
+  const bool coop_warm = solver::read_warm_state(in, coop_solver_);
+  const bool noncoop_warm = solver::read_warm_state(in, noncoop_solver_);
+  return coop_warm || noncoop_warm;
 }
 
 OefAllocator make_non_cooperative_oef(OefOptions options) {

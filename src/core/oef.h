@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/serial.h"
 #include "core/allocation.h"
 #include "core/speedup_matrix.h"
 #include "solver/lazy.h"
@@ -70,12 +72,18 @@ struct OefOptions {
   /// rows one violation at a time (n = 300: 46 rounds / 10.4k rows down to
   /// 30 rounds / 6.6k rows, and a cold sweep that completes in minutes).
   bool seed_adjacent_envy_rows = true;
-  /// Wall-clock budget for one allocate() call, in seconds; 0 disables it.
-  /// Cooperative lazy mode: when the deadline expires mid-loop the call
+  /// Monotonic-clock budget for one allocate() call, in seconds; 0 disables
+  /// it. Cooperative lazy mode: when the deadline expires mid-loop the call
   /// returns the last relaxation optimum (capacity-feasible, envy rows
   /// approximate) as a *degraded* result instead of running to convergence —
   /// the anytime contract a per-round scheduler needs.
   double solve_deadline_seconds = 0.0;
+  /// Absolute monotonic deadline for one allocate() call (none() disables).
+  /// Unlike solve_deadline_seconds — which anchors at allocate() entry — this
+  /// instant is fixed by the caller, so the daemon can anchor a request's
+  /// budget at arrival and let queueing/coalescing delay draw it down. When
+  /// both are set, the earlier instant wins.
+  common::Deadline deadline = common::Deadline::none();
 };
 
 /// Outcome of one allocate() call, one level above the LP's SolveStatus:
@@ -164,6 +172,11 @@ class OefAllocator {
 
   [[nodiscard]] Mode mode() const { return mode_; }
 
+  /// Per-call absolute deadline (see OefOptions::deadline). A serving layer
+  /// sets this before each allocate() without reconstructing the allocator —
+  /// reconstruction would discard the warm basis and envy pool.
+  void set_deadline(common::Deadline deadline) { options_.deadline = deadline; }
+
   /// Cumulative LP-solver counters (cold solves, warm resolves, basis-reuse
   /// hits, pivots, seconds) across all allocate() calls on this instance.
   [[nodiscard]] solver::LpSolverStats solver_stats() const;
@@ -171,6 +184,19 @@ class OefAllocator {
   /// Cumulative wall-clock seconds spent inside the envy separation oracle
   /// across all allocate() calls on this instance.
   [[nodiscard]] double oracle_seconds() const { return oracle_seconds_total_; }
+
+  /// Checkpoint hook (PR 9): serializes the allocator's warm identity — the
+  /// recycled envy pool and each persistent solver's LpWarmState — so a fresh
+  /// process can resume churn on warm paths. Counters (solver stats, oracle
+  /// seconds) are telemetry, not warm state, and are not saved.
+  void save_warm_state(common::SerialWriter& out) const;
+
+  /// Restores what save_warm_state() wrote. Returns true when at least one
+  /// solver came back warm; false means the next allocate() runs cold (a
+  /// degraded restart, not an error). Throws common::CheckError with
+  /// kCorruptData on a malformed record and kInvalidArgument when the
+  /// checkpoint was taken under the other Mode.
+  bool load_warm_state(common::SerialReader& in);
 
   /// Unweighted allocation: every user has multiplicity 1.
   [[nodiscard]] AllocationResult allocate(const SpeedupMatrix& speedups,

@@ -1,0 +1,104 @@
+#include "service/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/serial.h"
+
+namespace oef::service {
+
+namespace {
+
+constexpr std::string_view kMagic = "OEFCKPT1";
+
+[[nodiscard]] std::string container_bytes(std::string_view payload) {
+  std::string out;
+  out.reserve(kMagic.size() + 64 + payload.size());
+  out.append(kMagic);
+  common::SerialWriter header;
+  header.u64(kCheckpointVersion);
+  header.u64(payload.size());
+  header.u64(common::fnv1a64(payload));
+  out.append(header.data());
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, std::string_view payload) {
+  const std::string bytes = container_bytes(payload);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  OEF_REQUIRE_CODE(fd >= 0, common::ErrorCode::kBadState,
+                   "checkpoint temp file open failed");
+  std::size_t written = 0;
+  bool ok = true;
+  while (ok && written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (ok) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    OEF_REQUIRE_CODE(false, common::ErrorCode::kBadState, "checkpoint write/fsync failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    OEF_REQUIRE_CODE(false, common::ErrorCode::kBadState, "checkpoint rename failed");
+  }
+}
+
+std::optional<std::string> load_checkpoint(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    OEF_REQUIRE_CODE(false, common::ErrorCode::kBadState, "checkpoint open failed");
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      OEF_REQUIRE_CODE(false, common::ErrorCode::kBadState, "checkpoint read failed");
+    }
+    if (n == 0) break;
+    bytes.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  OEF_REQUIRE_CODE(bytes.size() >= kMagic.size(), common::ErrorCode::kCorruptData,
+                   "checkpoint shorter than its magic");
+  OEF_REQUIRE_CODE(std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) == 0,
+                   common::ErrorCode::kCorruptData, "checkpoint magic mismatch");
+  common::SerialReader header(
+      std::string_view(bytes).substr(kMagic.size()));
+  const std::uint64_t version = header.u64();
+  OEF_REQUIRE_CODE(version == kCheckpointVersion, common::ErrorCode::kCorruptData,
+                   "unknown checkpoint format version");
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  // The header is a token stream, so locate the payload as the trailing
+  // payload_size bytes of the file.
+  OEF_REQUIRE_CODE(payload_size <= bytes.size(), common::ErrorCode::kCorruptData,
+                   "checkpoint payload length exceeds file");
+  std::string payload = bytes.substr(bytes.size() - payload_size);
+  OEF_REQUIRE_CODE(common::fnv1a64(payload) == checksum, common::ErrorCode::kCorruptData,
+                   "checkpoint checksum mismatch");
+  return payload;
+}
+
+}  // namespace oef::service

@@ -1,0 +1,93 @@
+// Socket front end of the allocator service (PR 9).
+//
+// A Unix-domain stream listener speaking the framed protocol of
+// service/protocol.h. One thread accepts; each connection gets a serving
+// thread that extracts frames, decodes requests, calls
+// AllocatorService::handle(), and writes framed responses. All allocation
+// logic, queueing, and durability live in the service — the daemon only
+// moves validated frames.
+//
+// Wire robustness at this layer:
+//   * A checksum-corrupt frame is answered with kInvalidArgument under
+//     request id 0 (the client cannot be identified from untrusted bytes)
+//     and the connection continues — the length prefix kept the stream in
+//     sync.
+//   * A truncated frame starves the connection: after io_timeout_seconds
+//     with a partial frame buffered, the connection is dropped and the
+//     client's retry (same request id) lands on a fresh connection.
+//   * An optional WireFaultInjector on the response path lets the chaos
+//     harness exercise client-side retry against a misbehaving server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+#include "service/wire_fault.h"
+
+namespace oef::service {
+
+struct DaemonOptions {
+  std::string socket_path;
+  /// A connection with a partial frame buffered is dropped after this long
+  /// without progress (the truncated-frame defence).
+  double io_timeout_seconds = 2.0;
+  /// Response-path fault injection for the chaos harness.
+  bool enable_response_faults = false;
+  WireFaultOptions response_faults;
+};
+
+class Daemon {
+ public:
+  /// The service must outlive the daemon.
+  Daemon(AllocatorService& service, DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and starts accepting. Throws CheckError(kBadState) on
+  /// bind/listen failure (e.g. the path is taken by a live daemon).
+  void start();
+
+  /// Blocks until a kShutdown request (or stop() from another thread).
+  void wait();
+
+  /// Stops accepting, drops connections, joins all threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+  /// Checksum-corrupt frames seen across all connections.
+  [[nodiscard]] std::uint64_t corrupt_frames() const { return corrupt_frames_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_connections();
+
+  AllocatorService& service_;
+  DaemonOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> corrupt_frames_{0};
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::thread accept_thread_;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+  std::mutex fault_mu_;
+  WireFaultInjector response_faults_;
+};
+
+}  // namespace oef::service

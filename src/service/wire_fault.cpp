@@ -1,0 +1,43 @@
+#include "service/wire_fault.h"
+
+namespace oef::service {
+
+std::string WireFaultInjector::apply(const std::string& frame, double& delay_seconds) {
+  ++stats_.frames_seen;
+  delay_seconds = 0.0;
+  if (options_.delay_probability > 0.0 && rng_.uniform() < options_.delay_probability) {
+    ++stats_.delayed;
+    delay_seconds = rng_.uniform(options_.min_delay_seconds, options_.max_delay_seconds);
+  }
+  if (options_.drop_probability > 0.0 && rng_.uniform() < options_.drop_probability) {
+    ++stats_.dropped;
+    return {};
+  }
+  std::string out = frame;
+  if (options_.truncate_probability > 0.0 && !frame.empty() &&
+      rng_.uniform() < options_.truncate_probability) {
+    ++stats_.truncated;
+    const auto keep = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    out.resize(keep);
+    // A truncated frame ends the useful life of its connection (the receiver
+    // stalls mid-frame until its read times out), so duplication is moot.
+    return out;
+  }
+  if (options_.corrupt_probability > 0.0 && !out.empty() &&
+      rng_.uniform() < options_.corrupt_probability) {
+    ++stats_.corrupted;
+    const auto byte = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+    const auto bit = static_cast<int>(rng_.uniform_int(0, 7));
+    out[byte] = static_cast<char>(out[byte] ^ (1 << bit));
+  }
+  if (options_.duplicate_probability > 0.0 &&
+      rng_.uniform() < options_.duplicate_probability) {
+    ++stats_.duplicated;
+    out += out;
+  }
+  return out;
+}
+
+}  // namespace oef::service

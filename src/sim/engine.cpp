@@ -1,7 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <chrono>
+#include "common/clock.h"
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -279,12 +279,11 @@ SimResult SimulationEngine::run() {
     // envy separation, and flags degradation (non-converged results served,
     // fallback allocations) per round.
     const sched::SchedulerTelemetry telemetry_before = scheduler->telemetry();
-    const auto solve_start = std::chrono::steady_clock::now();
+    const double solve_start = common::monotonic_seconds();
     const core::Allocation shares =
         scheduler->allocate(reported, capacities, multiplicities, slots);
     const double solve_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start)
-            .count();
+        common::monotonic_seconds() - solve_start;
     const sched::SchedulerTelemetry telemetry_after = scheduler->telemetry();
     if (std::getenv("OEF_TRACE_ROUNDS") != nullptr) {
       std::fprintf(stderr,

@@ -1,10 +1,10 @@
 #include "solver/lazy.h"
 
-#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace oef::solver {
@@ -35,19 +35,20 @@ LazySolveResult LazyConstraintSolver::solve(LpSolver& solver, LpModel& model,
                                             const SeparationOracle& oracle) const {
   LazySolveResult result;
   const double seconds_before = solver.stats().solve_seconds;
-  const auto deadline_start = std::chrono::steady_clock::now();
-  const auto deadline_elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         deadline_start)
-        .count();
-  };
+  // One absolute monotonic expiry instant for the whole loop: the caller's
+  // absolute deadline (anchored at request arrival) and the relative budget
+  // (anchored here) collapse to whichever expires first, and every round
+  // checks that single instant — no per-layer re-anchoring, no wall clock.
+  common::Deadline deadline = deadline_;
+  if (deadline_seconds_ > 0.0) {
+    deadline = common::Deadline::earlier(deadline, common::Deadline::after(deadline_seconds_));
+  }
   bool cold_reload = false;
   for (result.rounds = 1; result.rounds <= max_rounds_; ++result.rounds) {
     // Anytime behaviour: once a relaxation optimum exists, an expired
     // deadline hands it back instead of separating further. Round 1 always
     // runs — without it there is nothing feasible to return at all.
-    if (deadline_seconds_ > 0.0 && result.rounds > 1 &&
-        deadline_elapsed() > deadline_seconds_) {
+    if (result.rounds > 1 && deadline.expired()) {
       result.deadline_expired = true;
       --result.rounds;  // the aborted round never ran
       common::log_debug("lazy solver: deadline expired after " +

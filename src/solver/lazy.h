@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/clock.h"
 #include "solver/lp_model.h"
 #include "solver/lp_solver.h"
 #include "solver/simplex.h"
@@ -85,12 +86,19 @@ class LazyConstraintSolver {
     compaction_ = true;
   }
 
-  /// Wall-clock budget for one solve() call, in seconds; 0 disables the
-  /// deadline. Checked between rounds: once a first relaxation optimum
-  /// exists, an expired deadline returns it immediately (deadline_expired
-  /// set, converged false) instead of separating further — the anytime
-  /// behaviour the scheduler's degradation ladder builds on.
+  /// Monotonic-clock budget for one solve() call, in seconds; 0 disables the
+  /// deadline. The budget is anchored at solve() entry. Checked between
+  /// rounds: once a first relaxation optimum exists, an expired deadline
+  /// returns it immediately (deadline_expired set, converged false) instead
+  /// of separating further — the anytime behaviour the scheduler's
+  /// degradation ladder builds on.
   void set_deadline(double seconds) { deadline_seconds_ = seconds; }
+
+  /// Absolute monotonic deadline (see common/clock.h), for callers whose
+  /// budget started before solve() — the daemon anchors it at request
+  /// arrival so queueing and coalescing delay draw down the same budget.
+  /// Composes with the relative budget: the earlier instant wins.
+  void set_deadline(common::Deadline deadline) { deadline_ = deadline; }
 
   /// Solves `model` (which is extended in place with the generated rows)
   /// using a throwaway solver instance.
@@ -110,6 +118,7 @@ class LazyConstraintSolver {
   std::size_t max_rows_ = 0;
   double compaction_slack_tol_ = 1e-5;
   double deadline_seconds_ = 0.0;
+  common::Deadline deadline_ = common::Deadline::none();
 };
 
 }  // namespace oef::solver

@@ -1,13 +1,13 @@
 #include "solver/lp_solver.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <type_traits>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/logging.h"
 #include "solver/basis.h"
 #include "solver/fault_injector.h"
@@ -35,11 +35,7 @@ constexpr double kFeasTol = 1e-9;
 // past this, the frame is stale and all weights reset to 1.
 constexpr double kDevexReset = 1e7;
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+double seconds_since(double start) { return common::monotonic_seconds() - start; }
 
 }  // namespace
 
@@ -99,6 +95,21 @@ class LpSolver::Core {
   void extract(const LpModel& model, LpSolution& out) const;
 
   [[nodiscard]] bool shape_matches(const Core& other) const;
+
+  /// Warm identity for checkpointing: the basic set and the at-upper flags.
+  /// Together with the loaded model these determine the next warm start
+  /// completely (run_warm_from reads nothing else from the prior core).
+  void export_warm(std::vector<std::size_t>& basic, std::vector<char>& at_upper) const {
+    basic = basis_.basic();
+    at_upper.assign(at_upper_.begin(), at_upper_.end());
+  }
+
+  /// Installs a checkpointed warm identity onto a freshly load()ed core and
+  /// refactorises. Returns false (core unusable) on shape mismatch, a
+  /// duplicate basic column, or a singular restored basis.
+  [[nodiscard]] bool restore_warm(const std::vector<std::size_t>& basic,
+                                  const std::vector<char>& at_upper);
+
   [[nodiscard]] std::size_t iterations() const { return iterations_; }
   [[nodiscard]] std::size_t phase1_iterations() const { return phase1_iterations_; }
   [[nodiscard]] std::size_t dual_iterations() const { return dual_iterations_; }
@@ -1151,10 +1162,14 @@ bool LpSolver::Core::delete_rows(const std::vector<std::size_t>& rows,
 SolveStatus LpSolver::Core::run_resolve(const SolverOptions& options) {
   iterations_ = phase1_iterations_ = dual_iterations_ = 0;
   // append_row() kept the basis representation exact (bordered update /
-  // inverse extension), so a refactorisation is only due when the basis's
-  // own policy says so; the basic values always need a refresh against the
-  // extended rhs.
-  if (!refactor_if_due(options)) return SolveStatus::kIterationLimit;
+  // inverse extension), but a resolve refactorises unconditionally anyway —
+  // same rationale as run_warm_from: continuation is then a pure function of
+  // (model, basic set, at-upper flags), which is exactly the checkpoint
+  // identity, so a solver restored from a checkpoint pivots bit-identically
+  // to the uninterrupted one. An accumulated eta file and a fresh
+  // factorisation of the same basis differ in low bits; one bounded LU per
+  // resolve buys determinism across restarts.
+  if (!refactor()) return SolveStatus::kIterationLimit;
   refresh_xb();
   const SolveStatus status = run_dual(options);
   if (status != SolveStatus::kOptimal) return status;
@@ -1201,6 +1216,31 @@ void LpSolver::Core::extract(const LpModel& model, LpSolution& out) const {
   out.dual_iterations = dual_iterations_;
 }
 
+bool LpSolver::Core::restore_warm(const std::vector<std::size_t>& basic,
+                                  const std::vector<char>& at_upper) {
+  if (basic.size() != m_ || at_upper.size() != num_cols_) return false;
+  std::vector<char> seen(num_cols_, 0);
+  for (const std::size_t col : basic) {
+    if (col >= num_cols_ || seen[col]) return false;
+    seen[col] = 1;
+  }
+  basis_.set_basic(basic);
+  rebuild_basis_flags();
+  // Mirror run_warm_from's status invariants: basic columns carry no at-upper
+  // flag and at-upper columns must still have a finite bound.
+  at_upper_ = at_upper;
+  num_at_upper_ = 0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (in_basis_[j] || !std::isfinite(upper_[j])) at_upper_[j] = 0;
+    if (at_upper_[j]) ++num_at_upper_;
+  }
+  b_ = b_exact_;
+  perturbed_ = false;
+  if (!refactor()) return false;
+  refresh_xb();
+  return true;
+}
+
 bool LpSolver::Core::shape_matches(const Core& other) const {
   return m_ == other.m_ && num_cols_ == other.num_cols_ &&
          n_struct_ == other.n_struct_ && relations_ == other.relations_ &&
@@ -1235,6 +1275,28 @@ LpSolver& LpSolver::operator=(const LpSolver& other) {
 }
 
 bool LpSolver::has_basis() const { return core_ != nullptr && incremental_ok_; }
+
+std::optional<LpWarmState> LpSolver::export_warm_state() const {
+  if (!has_basis()) return std::nullopt;
+  LpWarmState state;
+  state.model = model_;
+  core_->export_warm(state.basic, state.at_upper);
+  return state;
+}
+
+bool LpSolver::import_warm_state(const LpWarmState& state) {
+  model_ = state.model;
+  core_.reset();
+  incremental_ok_ = false;
+  if (options_.algorithm == LpAlgorithm::kTableau) return false;
+  auto core = std::make_unique<Core>();
+  core->load(model_, options_);
+  if (!core->restore_warm(state.basic, state.at_upper)) return false;
+  stats_.basis_repairs += core->take_basis_repairs();
+  core_ = std::move(core);
+  incremental_ok_ = true;
+  return true;
+}
 
 LpSolution LpSolver::solve_loaded_cold() {
   // Cold rungs of the degradation ladder. The caller already exhausted any
@@ -1291,7 +1353,7 @@ LpSolution LpSolver::solve_loaded_cold() {
 }
 
 LpSolution LpSolver::solve(const LpModel& model) {
-  const auto start = Clock::now();
+  const double start = common::monotonic_seconds();
   std::unique_ptr<Core> previous = std::move(core_);
   const bool had_basis = previous != nullptr && incremental_ok_;
   model_ = model;
@@ -1383,7 +1445,7 @@ std::size_t LpSolver::add_rows(const std::vector<Constraint>& rows) {
 }
 
 LpSolution LpSolver::resolve() {
-  const auto start = Clock::now();
+  const double start = common::monotonic_seconds();
   if (options_.algorithm == LpAlgorithm::kTableau || !core_ || !incremental_ok_) {
     LpSolution solution;
     if (options_.algorithm == LpAlgorithm::kTableau) {

@@ -38,12 +38,26 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "solver/lp_model.h"
 #include "solver/simplex.h"
 
 namespace oef::solver {
+
+/// Everything a fresh LpSolver needs to resume warm exactly where another
+/// instance (possibly in another process) left off: the loaded model, the
+/// basic column set and the nonbasic at-upper statuses. The factorisation
+/// itself is deliberately absent — warm starts refactorise from the basic set
+/// anyway (see Core::run_warm_from), so (model, basic, at_upper) is the whole
+/// warm identity and a restore is pivot-identical to the uninterrupted run.
+/// Serialized by solver/checkpoint.h for the daemon's crash-safe checkpoint.
+struct LpWarmState {
+  LpModel model;
+  std::vector<std::size_t> basic;
+  std::vector<char> at_upper;
+};
 
 /// Cumulative counters across the lifetime of one LpSolver.
 struct LpSolverStats {
@@ -107,6 +121,18 @@ class LpSolver {
 
   /// True when a previous solve left an optimal basis to warm-start from.
   [[nodiscard]] bool has_basis() const;
+
+  /// Snapshot of the warm state (see LpWarmState); nullopt when there is no
+  /// reusable basis (nothing solved yet, tableau mode, or a prior failure).
+  [[nodiscard]] std::optional<LpWarmState> export_warm_state() const;
+
+  /// Restores a warm state exported by export_warm_state(): loads the model,
+  /// installs the basic set and bound statuses, and refactorises. On success
+  /// (true) the next same-shaped solve() warm-starts exactly as it would have
+  /// in the exporting instance. On failure (malformed state or a singular
+  /// restored basis) the solver is left cold with the model loaded — callers
+  /// degrade to a cold first solve, never to an error.
+  bool import_warm_state(const LpWarmState& state);
 
   /// The currently loaded model, including rows appended via add_rows().
   [[nodiscard]] const LpModel& model() const { return model_; }

@@ -1,0 +1,426 @@
+// In-process contract of the AllocatorService (PR 9): tenant churn over warm
+// solver state, idempotent dedup, admission control + load shedding with
+// last-good snapshots, queue deadlines, update coalescing, and the
+// checkpoint round-trip determinism guarantee — a service restored from a
+// mid-churn checkpoint resolves the next update pivot-identically and lands
+// on the bit-identical allocation of an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "service/checkpoint.h"
+#include "service/service.h"
+
+namespace oef::service {
+namespace {
+
+ServiceOptions base_options() {
+  ServiceOptions options;
+  options.capacities = {4.0, 2.0, 2.0};
+  options.mode = core::OefAllocator::Mode::kCooperative;
+  return options;
+}
+
+Request add_tenant(const std::string& name, std::vector<double> demand,
+                   double weight = 1.0, std::uint64_t id = 0) {
+  Request request;
+  request.type = MessageType::kAddTenant;
+  request.request_id = id;
+  request.tenant = name;
+  request.demand = std::move(demand);
+  request.weight = weight;
+  return request;
+}
+
+Request update_demand(const std::string& name, std::vector<double> demand,
+                      double weight = 1.0, std::uint64_t id = 0) {
+  Request request;
+  request.type = MessageType::kUpdateDemand;
+  request.request_id = id;
+  request.tenant = name;
+  request.demand = std::move(demand);
+  request.weight = weight;
+  return request;
+}
+
+TEST(AllocatorService, ChurnLifecycleServesFeasibleSnapshots) {
+  AllocatorService service(base_options());
+  EXPECT_EQ(service.snapshot()->version, 0u);
+
+  ASSERT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0})).status, StatusCode::kOk);
+  ASSERT_EQ(service.handle(add_tenant("bob", {1.0, 1.5, 1.6})).status, StatusCode::kOk);
+  const Response added = service.handle(add_tenant("carol", {1.0, 1.1, 4.0}, 2.0));
+  ASSERT_EQ(added.status, StatusCode::kOk);
+  ASSERT_TRUE(added.has_snapshot);
+  EXPECT_EQ(added.snapshot.tenants.size(), 3u);
+
+  Request query;
+  query.type = MessageType::kQueryAllocation;
+  const Response snapshot = service.handle(query);
+  ASSERT_EQ(snapshot.status, StatusCode::kOk);
+  ASSERT_EQ(snapshot.snapshot.shares.size(), 3u);
+  // Column sums must respect capacities.
+  for (std::size_t j = 0; j < 3; ++j) {
+    double used = 0.0;
+    for (const auto& row : snapshot.snapshot.shares) used += row[j];
+    EXPECT_LE(used, base_options().capacities[j] + 1e-6);
+  }
+  EXPECT_GT(snapshot.snapshot.total_efficiency, 0.0);
+
+  ASSERT_EQ(service.handle(update_demand("bob", {1.0, 3.0, 3.1})).status, StatusCode::kOk);
+  Request remove;
+  remove.type = MessageType::kRemoveTenant;
+  remove.tenant = "alice";
+  ASSERT_EQ(service.handle(remove).status, StatusCode::kOk);
+  const Response after = service.handle(query);
+  EXPECT_EQ(after.snapshot.tenants, (std::vector<std::string>{"bob", "carol"}));
+  EXPECT_GT(after.snapshot.version, snapshot.snapshot.version);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.resolves, 5u);
+  EXPECT_EQ(stats.requests_shed, 0u);
+}
+
+TEST(AllocatorService, PerOpErrorsDoNotPoisonTheBatch) {
+  AllocatorService service(base_options());
+  ASSERT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0})).status, StatusCode::kOk);
+
+  EXPECT_EQ(service.handle(add_tenant("alice", {1.0, 1.0, 1.0})).status,
+            StatusCode::kAlreadyExists);
+  Request remove;
+  remove.type = MessageType::kRemoveTenant;
+  remove.tenant = "ghost";
+  EXPECT_EQ(service.handle(remove).status, StatusCode::kNotFound);
+  EXPECT_EQ(service.handle(update_demand("ghost", {1.0, 1.0, 1.0})).status,
+            StatusCode::kNotFound);
+  // Wrong arity and non-positive demand are rejected before queueing.
+  EXPECT_EQ(service.handle(add_tenant("bob", {1.0, 2.0})).status,
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.handle(add_tenant("bob", {1.0, -2.0, 1.0})).status,
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.handle(add_tenant("bob", {1.0, 2.0, 1.0}, -1.0)).status,
+            StatusCode::kInvalidArgument);
+
+  // The registry survived all of it.
+  Request query;
+  query.type = MessageType::kQueryAllocation;
+  EXPECT_EQ(service.handle(query).snapshot.tenants,
+            (std::vector<std::string>{"alice"}));
+}
+
+TEST(AllocatorService, DuplicateRequestIdsApplyOnce) {
+  AllocatorService service(base_options());
+  const Request add = add_tenant("alice", {1.0, 2.0, 3.0}, 1.0, /*id=*/1111);
+  ASSERT_EQ(service.handle(add).status, StatusCode::kOk);
+  const Response duplicate = service.handle(add);
+  EXPECT_EQ(duplicate.status, StatusCode::kOk);
+  EXPECT_NE(duplicate.message.find("duplicate"), std::string::npos);
+  EXPECT_EQ(duplicate.snapshot.tenants.size(), 1u);
+  EXPECT_EQ(service.stats().duplicates_served, 1u);
+
+  // A different id with the same content is a real (conflicting) add.
+  EXPECT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0}, 1.0, 2222)).status,
+            StatusCode::kAlreadyExists);
+}
+
+TEST(AllocatorService, OverloadShedsWithLastGoodSnapshot) {
+  ServiceOptions options = base_options();
+  options.max_queue_depth = 0;  // every droppable op overflows immediately
+  AllocatorService service(options);
+  // Non-droppable ops are admitted past the bound...
+  ASSERT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0})).status, StatusCode::kOk);
+  // ...while droppable ones shed with the last-good snapshot attached.
+  const Response shed = service.handle(update_demand("alice", {1.0, 4.0, 4.0}));
+  EXPECT_EQ(shed.status, StatusCode::kOverloaded);
+  ASSERT_TRUE(shed.has_snapshot);
+  EXPECT_EQ(shed.snapshot.tenants, (std::vector<std::string>{"alice"}));
+  EXPECT_GE(service.stats().requests_shed, 1u);
+
+  Request allocate;
+  allocate.type = MessageType::kAllocate;
+  EXPECT_EQ(service.handle(allocate).status, StatusCode::kOverloaded);
+}
+
+TEST(AllocatorService, OldestDroppableShedsFirstUnderPressure) {
+  ServiceOptions options = base_options();
+  options.max_queue_depth = 2;
+  options.coalesce_window_seconds = 0.4;  // hold the worker so the queue fills
+  AllocatorService service(options);
+  ASSERT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0})).status, StatusCode::kOk);
+
+  // First update is popped by the worker and held for the window; the next
+  // two sit in the queue (depth 2); the fourth forces the oldest queued
+  // droppable out with kOverloaded.
+  std::vector<Response> responses(4);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&service, &responses, i] {
+      responses[static_cast<std::size_t>(i)] = service.handle(
+          update_demand("alice", {1.0, 2.0, 3.0 + i}, 1.0,
+                        static_cast<std::uint64_t>(9000 + i)));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  int overloaded = 0;
+  int ok = 0;
+  for (const Response& response : responses) {
+    if (response.status == StatusCode::kOverloaded) {
+      ++overloaded;
+      EXPECT_TRUE(response.has_snapshot);
+    } else {
+      EXPECT_EQ(response.status, StatusCode::kOk);
+      ++ok;
+    }
+  }
+  EXPECT_EQ(overloaded, 1);
+  EXPECT_EQ(ok, 3);
+  // The shed victim must be the oldest queued droppable: the first queued
+  // update (index 1; index 0 was already claimed by the worker).
+  EXPECT_EQ(responses[1].status, StatusCode::kOverloaded);
+  EXPECT_GE(service.stats().max_queue_depth_seen, 2u);
+}
+
+TEST(AllocatorService, QueueDeadlineExpiresWithoutApplying) {
+  ServiceOptions options = base_options();
+  options.coalesce_window_seconds = 0.15;  // queueing delay > deadline
+  AllocatorService service(options);
+  ASSERT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0})).status, StatusCode::kOk);
+
+  Request update = update_demand("alice", {1.0, 9.0, 9.0});
+  update.deadline_seconds = 1e-4;
+  const Response response = service.handle(update);
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExpired);
+  EXPECT_GE(service.stats().deadline_expirations, 1u);
+
+  // The expired update must not have touched the registry.
+  Request query;
+  query.type = MessageType::kQueryAllocation;
+  const Response snapshot = service.handle(query);
+  EXPECT_EQ(snapshot.snapshot.tenants, (std::vector<std::string>{"alice"}));
+}
+
+TEST(AllocatorService, CoalescingBatchesUpdatesIntoOneResolve) {
+  ServiceOptions options = base_options();
+  options.coalesce_window_seconds = 0.25;
+  AllocatorService service(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(service
+                  .handle(add_tenant("t" + std::to_string(i),
+                                     {1.0, 1.5 + 0.1 * i, 2.0 + 0.2 * i}))
+                  .status,
+              StatusCode::kOk);
+  }
+  const ServiceStats before = service.stats();
+
+  std::vector<std::thread> threads;
+  std::vector<Response> responses(6);
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&service, &responses, i] {
+      responses[static_cast<std::size_t>(i)] = service.handle(
+          update_demand("t" + std::to_string(i % 4), {1.0, 2.0 + 0.1 * i, 3.0}));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const ServiceStats after = service.stats();
+
+  for (const Response& response : responses) EXPECT_EQ(response.status, StatusCode::kOk);
+  // Six updates, far fewer resolves: the window coalesced them. (Two
+  // batches can happen when a thread lands after the first window closes.)
+  EXPECT_LE(after.resolves - before.resolves, 3u);
+  EXPECT_GE(after.max_batch_size, 3u);
+  // Updates to the same tenant collapsed to last-writer-wins within a batch.
+  Request query;
+  query.type = MessageType::kQueryAllocation;
+  EXPECT_EQ(service.handle(query).snapshot.tenants.size(), 4u);
+}
+
+TEST(AllocatorService, EmptyRegistryAllocatesEmptySnapshot) {
+  AllocatorService service(base_options());
+  Request allocate;
+  allocate.type = MessageType::kAllocate;
+  const Response response = service.handle(allocate);
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_TRUE(response.snapshot.tenants.empty());
+  EXPECT_GE(response.snapshot.version, 1u);
+}
+
+TEST(AllocatorService, HealthReportsStats) {
+  AllocatorService service(base_options());
+  ASSERT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0})).status, StatusCode::kOk);
+  Request health;
+  health.type = MessageType::kHealth;
+  const Response response = service.handle(health);
+  ASSERT_EQ(response.status, StatusCode::kOk);
+  ASSERT_EQ(response.stat_keys.size(), response.stat_values.size());
+  double resolves = -1.0;
+  for (std::size_t i = 0; i < response.stat_keys.size(); ++i) {
+    if (response.stat_keys[i] == "resolves") resolves = response.stat_values[i];
+  }
+  EXPECT_GE(resolves, 1.0);
+}
+
+// --- Checkpoint round-trip determinism (PR 9 satellite) --------------------
+
+struct ChurnScript {
+  static void run_prefix(AllocatorService& service) {
+    ASSERT_EQ(service.handle(add_tenant("a", {1.0, 1.9, 2.8})).status, StatusCode::kOk);
+    ASSERT_EQ(service.handle(add_tenant("b", {1.0, 1.4, 1.5}, 2.0)).status,
+              StatusCode::kOk);
+    ASSERT_EQ(service.handle(add_tenant("c", {1.0, 2.5, 2.6})).status, StatusCode::kOk);
+    ASSERT_EQ(service.handle(add_tenant("d", {1.0, 1.1, 3.9})).status, StatusCode::kOk);
+    ASSERT_EQ(service.handle(update_demand("b", {1.0, 1.8, 1.9}, 2.0)).status,
+              StatusCode::kOk);
+    Request remove;
+    remove.type = MessageType::kRemoveTenant;
+    remove.tenant = "c";
+    ASSERT_EQ(service.handle(remove).status, StatusCode::kOk);
+    ASSERT_EQ(service.handle(add_tenant("e", {1.0, 2.0, 2.1})).status, StatusCode::kOk);
+  }
+
+  static Request tail_update() { return update_demand("d", {1.0, 1.6, 3.0}); }
+};
+
+TEST(AllocatorService, CheckpointRestoreIsPivotIdenticalAndBitIdentical) {
+  const std::string dir = ::testing::TempDir();
+  const std::string ckpt_a = dir + "/oef_ckpt_uninterrupted";
+  const std::string ckpt_b = dir + "/oef_ckpt_restored";
+  std::remove(ckpt_a.c_str());
+  std::remove(ckpt_b.c_str());
+
+  // Uninterrupted run: prefix churn, then the tail update, measuring the
+  // tail resolve's pivots.
+  ServiceOptions options = base_options();
+  options.checkpoint_path = ckpt_a;
+  std::uint64_t uninterrupted_pivots = 0;
+  WireSnapshot uninterrupted_snapshot;
+  {
+    AllocatorService service(options);
+    ChurnScript::run_prefix(service);
+    const ServiceStats before = service.stats();
+    const Response response = service.handle(ChurnScript::tail_update());
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    const ServiceStats after = service.stats();
+    uninterrupted_pivots = after.lp_iterations - before.lp_iterations;
+    uninterrupted_snapshot = response.snapshot;
+  }
+
+  // Interrupted run: the same prefix, then the service is torn down and a
+  // fresh instance restores from the checkpoint before the tail update.
+  options.checkpoint_path = ckpt_b;
+  {
+    AllocatorService service(options);
+    ChurnScript::run_prefix(service);
+    service.shutdown();
+  }
+  {
+    AllocatorService service(options);
+    ASSERT_TRUE(service.restored_from_checkpoint());
+    EXPECT_TRUE(service.restored_warm());
+    // The restored snapshot must be byte-identical in content.
+    EXPECT_EQ(service.snapshot()->tenants,
+              (std::vector<std::string>{"a", "b", "d", "e"}));
+
+    const ServiceStats before = service.stats();
+    const Response response = service.handle(ChurnScript::tail_update());
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    const ServiceStats after = service.stats();
+    const std::uint64_t restored_pivots = after.lp_iterations - before.lp_iterations;
+
+    // Pivot-identical: the restored warm state is the same warm state.
+    EXPECT_EQ(restored_pivots, uninterrupted_pivots);
+    // Bit-identical allocation.
+    ASSERT_EQ(response.snapshot.shares.size(), uninterrupted_snapshot.shares.size());
+    for (std::size_t row = 0; row < response.snapshot.shares.size(); ++row) {
+      ASSERT_EQ(response.snapshot.shares[row].size(),
+                uninterrupted_snapshot.shares[row].size());
+      for (std::size_t j = 0; j < response.snapshot.shares[row].size(); ++j) {
+        EXPECT_EQ(0, std::memcmp(&response.snapshot.shares[row][j],
+                                 &uninterrupted_snapshot.shares[row][j],
+                                 sizeof(double)))
+            << "row " << row << " type " << j;
+      }
+    }
+    EXPECT_EQ(0, std::memcmp(&response.snapshot.total_efficiency,
+                             &uninterrupted_snapshot.total_efficiency, sizeof(double)));
+  }
+  std::remove(ckpt_a.c_str());
+  std::remove(ckpt_b.c_str());
+}
+
+TEST(AllocatorService, DedupSurvivesRestart) {
+  const std::string path = ::testing::TempDir() + "/oef_ckpt_dedup";
+  std::remove(path.c_str());
+  ServiceOptions options = base_options();
+  options.checkpoint_path = path;
+  {
+    AllocatorService service(options);
+    ASSERT_EQ(service.handle(add_tenant("alice", {1.0, 2.0, 3.0}, 1.0, 555)).status,
+              StatusCode::kOk);
+  }
+  {
+    AllocatorService service(options);
+    ASSERT_TRUE(service.restored_from_checkpoint());
+    // The same id retried against the restarted daemon must not re-apply.
+    const Response duplicate =
+        service.handle(add_tenant("alice", {1.0, 2.0, 3.0}, 1.0, 555));
+    EXPECT_EQ(duplicate.status, StatusCode::kOk);
+    EXPECT_NE(duplicate.message.find("duplicate"), std::string::npos);
+    EXPECT_EQ(service.snapshot()->tenants.size(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AllocatorService, CorruptCheckpointRefusesToStart) {
+  const std::string path = ::testing::TempDir() + "/oef_ckpt_corrupt";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    std::fputs("OEFCKPT1 this is not a valid checkpoint", file);
+    std::fclose(file);
+  }
+  ServiceOptions options = base_options();
+  options.checkpoint_path = path;
+  try {
+    AllocatorService service(options);
+    FAIL() << "corrupt checkpoint must not be silently ignored";
+  } catch (const common::CheckError& error) {
+    EXPECT_EQ(error.code(), common::ErrorCode::kCorruptData);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceCheckpointContainer, RoundTripAndTamperDetection) {
+  const std::string path = ::testing::TempDir() + "/oef_ckpt_container";
+  const std::string payload = "42 hello 0x1.8p1 tokens";
+  write_checkpoint(path, payload);
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  EXPECT_FALSE(load_checkpoint(path + ".does_not_exist").has_value());
+
+  // Flip one byte in the stored payload: the checksum must reject it.
+  {
+    std::FILE* file = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, -2, SEEK_END);
+    std::fputc('X', file);
+    std::fclose(file);
+  }
+  try {
+    (void)load_checkpoint(path);
+    FAIL();
+  } catch (const common::CheckError& error) {
+    EXPECT_EQ(error.code(), common::ErrorCode::kCorruptData);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace oef::service
